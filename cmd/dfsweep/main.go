@@ -1,0 +1,108 @@
+// Command dfsweep runs an offered-load sweep for a set of mechanisms and
+// prints the latency/throughput series as a gnuplot-style .dat stream or a
+// markdown table.
+//
+// Example:
+//
+//	dfsweep -h 4 -mechs RLM,OLM,Valiant -traffic ADVG -offset 1 \
+//	        -loads 0.05,0.1,0.2,0.3,0.4,0.5 -metric accepted -format md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	dragonfly "repro"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		h        = flag.Int("h", 4, "dragonfly parameter")
+		mechs    = flag.String("mechs", "Minimal,PiggyBacking,PAR-6/2,RLM,OLM", "comma-separated mechanisms")
+		flow     = flag.String("flow", "VCT", "flow control: VCT or WH")
+		trafficK = flag.String("traffic", "UN", "traffic pattern: UN, ADVG, ADVL")
+		offset   = flag.Int("offset", 1, "ADVG/ADVL offset")
+		loads    = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.8,1.0", "comma-separated offered loads")
+		metric   = flag.String("metric", "accepted", "metric: accepted, latency, netlatency")
+		format   = flag.String("format", "dat", "output format: dat or md")
+		warmup   = flag.Int64("warmup", 2000, "warmup cycles")
+		measure  = flag.Int64("measure", 4000, "measured cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	f, err := dragonfly.ParseFlowControl(*flow)
+	fatalIf(err)
+	base := dragonfly.PaperVCT(*h)
+	if f == dragonfly.WH {
+		base = dragonfly.PaperWH(*h)
+	}
+	base.Warmup, base.Measure = *warmup, *measure
+	base.Seed = *seed
+	switch *trafficK {
+	case "UN":
+		base.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
+	case "ADVG":
+		base.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: *offset}
+	case "ADVL":
+		base.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: *offset}
+	default:
+		fatalIf(fmt.Errorf("unknown traffic %q", *trafficK))
+	}
+
+	var ms []dragonfly.Mechanism
+	for _, name := range strings.Split(*mechs, ",") {
+		m, err := dragonfly.ParseMechanism(strings.TrimSpace(name))
+		fatalIf(err)
+		ms = append(ms, m)
+	}
+	var ls []float64
+	for _, s := range strings.Split(*loads, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		fatalIf(err)
+		ls = append(ls, v)
+	}
+
+	opt := sweep.Options{Parallelism: *par}
+	if !*quiet {
+		opt.Progress = func(series string, p sweep.Point) {
+			fmt.Fprintf(os.Stderr, "done %-14s load=%.3f accepted=%.4f lat=%.1f\n",
+				series, p.X, p.Result.AcceptedLoad, p.Result.AvgTotalLatency)
+		}
+	}
+	series, err := sweep.LoadSweep(base, ms, ls, opt)
+	fatalIf(err)
+
+	var m sweep.Metric
+	switch *metric {
+	case "accepted":
+		m = sweep.AcceptedLoad
+	case "latency":
+		m = sweep.TotalLatency
+	case "netlatency":
+		m = sweep.NetworkLatency
+	default:
+		fatalIf(fmt.Errorf("unknown metric %q", *metric))
+	}
+	switch *format {
+	case "dat":
+		fatalIf(sweep.WriteDAT(os.Stdout, "Offered load (phits/(node*cycle))", m, series))
+	case "md":
+		fatalIf(sweep.WriteMarkdown(os.Stdout, "load", m, series))
+	default:
+		fatalIf(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfsweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command dragonsim runs one dragonfly simulation and prints its metrics.
+//
+// Examples:
+//
+//	dragonsim -h 4 -mech OLM -traffic ADVG -offset 1 -load 0.5
+//	dragonsim -h 8 -mech RLM -flow WH -packet 80 -traffic UN -load 0.3
+//	dragonsim -h 4 -mech RLM -traffic MIX -globalpct 60 -burst 1000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	dragonfly "repro"
+)
+
+func main() {
+	var (
+		h         = flag.Int("h", 4, "dragonfly parameter (paper: 8)")
+		mech      = flag.String("mech", "OLM", "routing mechanism: Minimal, Valiant, PiggyBacking, PAR-6/2, RLM, OLM, RLM-signonly, OFAR")
+		flow      = flag.String("flow", "VCT", "flow control: VCT or WH")
+		packet    = flag.Int("packet", 0, "packet size in phits (default: 8 for VCT, 80 for WH)")
+		trafficK  = flag.String("traffic", "UN", "traffic pattern: UN, ADVG, ADVL, MIX")
+		offset    = flag.Int("offset", 1, "ADVG/ADVL offset")
+		globalPct = flag.Float64("globalpct", 50, "MIX: percent of ADVG+h traffic")
+		load      = flag.Float64("load", 0.5, "offered load in phits/(node*cycle)")
+		burst     = flag.Int("burst", 0, "burst packets per node (0 = steady state)")
+		threshold = flag.Float64("threshold", 0.45, "misrouting threshold fraction")
+		warmup    = flag.Int64("warmup", 3000, "warmup cycles")
+		measure   = flag.Int64("measure", 6000, "measured cycles")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 1, "intra-simulation worker count")
+		asJSON    = flag.Bool("json", false, "print the result as JSON")
+	)
+	flag.Parse()
+
+	m, err := dragonfly.ParseMechanism(*mech)
+	fatalIf(err)
+	f, err := dragonfly.ParseFlowControl(*flow)
+	fatalIf(err)
+
+	cfg := dragonfly.PaperVCT(*h)
+	if f == dragonfly.WH {
+		cfg = dragonfly.PaperWH(*h)
+	}
+	cfg.Mechanism = m
+	if *packet > 0 {
+		cfg.PacketPhits = *packet
+	}
+	cfg.Threshold = *threshold
+	cfg.Load = *load
+	cfg.BurstPackets = *burst
+	cfg.Warmup, cfg.Measure = *warmup, *measure
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	switch *trafficK {
+	case "UN":
+		cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
+	case "ADVG":
+		cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: *offset}
+	case "ADVL":
+		cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: *offset}
+	case "MIX":
+		cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: *globalPct}
+	default:
+		fatalIf(fmt.Errorf("unknown traffic %q", *trafficK))
+	}
+
+	routers, nodes, groups, err := dragonfly.NetworkSize(*h)
+	fatalIf(err)
+	if !*asJSON {
+		fmt.Printf("dragonfly h=%d: %d routers, %d nodes, %d groups; %s/%s\n",
+			*h, routers, nodes, groups, m, f)
+	}
+
+	res, err := dragonfly.Run(cfg)
+	fatalIf(err)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(res))
+		return
+	}
+	fmt.Printf("pattern            %s\n", res.Pattern)
+	fmt.Printf("offered load       %.4f phits/(node*cycle)\n", res.OfferedLoad)
+	fmt.Printf("accepted load      %.4f phits/(node*cycle)\n", res.AcceptedLoad)
+	fmt.Printf("avg latency        %.1f cycles (network %.1f, p50 %.0f, p99 %.0f)\n",
+		res.AvgTotalLatency, res.AvgNetworkLatency, res.P50Latency, res.P99Latency)
+	fmt.Printf("hops/packet        %.2f local, %.2f global\n", res.AvgLocalHops, res.AvgGlobalHops)
+	fmt.Printf("misroutes/packet   %.3f local, %.3f global\n", res.LocalMisrouteRate, res.GlobalMisrouteRate)
+	fmt.Printf("delivered          %d packets over %d cycles\n", res.Delivered, res.Cycles)
+	fmt.Printf("link utilization   %.3f local, %.3f global\n", res.LocalLinkUtil, res.GlobalLinkUtil)
+	if res.ConsumptionCycles > 0 {
+		fmt.Printf("burst consumption  %d cycles\n", res.ConsumptionCycles)
+	}
+	if res.Deadlock {
+		fmt.Println("DEADLOCK detected by the watchdog")
+		os.Exit(1)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dragonsim:", err)
+		os.Exit(1)
+	}
+}

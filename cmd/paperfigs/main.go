@@ -1,0 +1,327 @@
+// Command paperfigs regenerates the data behind every figure of the
+// paper's evaluation (Figures 4-11) plus Table I, writing one .dat file
+// per figure panel and a markdown summary.
+//
+// The paper's experiments run at h=8 (16,512 nodes); the default here is a
+// reduced h=4 network with the same structure so a full regeneration
+// finishes in tens of minutes on a laptop. Pass -h 8 -burstvct 1000
+// -burstwh 89 for paper scale.
+//
+// Usage:
+//
+//	paperfigs -out results [-h 4] [-figs 4,5,6,7,8,9,10,11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	dragonfly "repro"
+	"repro/internal/sweep"
+)
+
+type env struct {
+	h        int
+	warmup   int64
+	measure  int64
+	seed     uint64
+	burstVCT int
+	burstWH  int
+	outDir   string
+	opt      sweep.Options
+	summary  *strings.Builder
+}
+
+func main() {
+	var (
+		h        = flag.Int("h", 4, "dragonfly parameter (paper: 8)")
+		out      = flag.String("out", "results", "output directory")
+		figsFlag = flag.String("figs", "4,5,6,7,8,9,10,11", "figures to regenerate")
+		warmup   = flag.Int64("warmup", 2000, "warmup cycles")
+		measure  = flag.Int64("measure", 4000, "measured cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		burstVCT = flag.Int("burstvct", 200, "VCT burst packets/node (paper: 1000)")
+		burstWH  = flag.Int("burstwh", 20, "WH burst packets/node (paper: 89)")
+		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("q", false, "suppress progress")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	e := &env{
+		h: *h, warmup: *warmup, measure: *measure, seed: *seed,
+		burstVCT: *burstVCT, burstWH: *burstWH, outDir: *out,
+		opt:     sweep.Options{Parallelism: *par},
+		summary: &strings.Builder{},
+	}
+	if !*quiet {
+		e.opt.Progress = func(series string, p sweep.Point) {
+			fmt.Fprintf(os.Stderr, "[%s] %-18s x=%.3g acc=%.4f lat=%.1f\n",
+				time.Now().Format("15:04:05"), series, p.X,
+				p.Result.AcceptedLoad, p.Result.AvgTotalLatency)
+		}
+	}
+	routers, nodes, groups, err := dragonfly.NetworkSize(*h)
+	fatalIf(err)
+	fmt.Fprintf(e.summary, "# Paper figure regeneration\n\n")
+	fmt.Fprintf(e.summary, "Network: h=%d (%d routers, %d nodes, %d groups); warmup %d, measure %d cycles; seed %d.\n\n",
+		*h, routers, nodes, groups, *warmup, *measure, *seed)
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figsFlag, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	start := time.Now()
+	if want["4"] || want["5"] {
+		fatalIf(e.figs45())
+	}
+	if want["6"] {
+		fatalIf(e.fig6())
+	}
+	if want["7"] || want["8"] {
+		fatalIf(e.figs78())
+	}
+	if want["9"] {
+		fatalIf(e.fig9())
+	}
+	if want["10"] {
+		fatalIf(e.fig1011(10))
+	}
+	if want["11"] {
+		fatalIf(e.fig1011(11))
+	}
+	fmt.Fprintf(e.summary, "\nTotal regeneration time: %s.\n", time.Since(start).Round(time.Second))
+	sumPath := filepath.Join(*out, "summary.md")
+	fatalIf(os.WriteFile(sumPath, []byte(e.summary.String()), 0o644))
+	fmt.Println("summary written to", sumPath)
+}
+
+// vctBase and whBase give the two experimental environments.
+func (e *env) vctBase() dragonfly.Config {
+	cfg := dragonfly.PaperVCT(e.h)
+	cfg.Warmup, cfg.Measure, cfg.Seed = e.warmup, e.measure, e.seed
+	return cfg
+}
+
+func (e *env) whBase() dragonfly.Config {
+	cfg := dragonfly.PaperWH(e.h)
+	cfg.Warmup, cfg.Measure, cfg.Seed = e.warmup, e.measure, e.seed
+	return cfg
+}
+
+// writePanel stores one figure panel as .dat and appends its markdown.
+func (e *env) writePanel(name, title, xlabel string, metric sweep.Metric, series []sweep.Series) error {
+	f, err := os.Create(filepath.Join(e.outDir, name+".dat"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sweep.WriteDAT(f, xlabel, metric, series); err != nil {
+		return err
+	}
+	fmt.Fprintf(e.summary, "## %s — %s\n\n", name, title)
+	if err := sweep.WriteMarkdown(e.summary, xlabel, metric, series); err != nil {
+		return err
+	}
+	fmt.Fprintln(e.summary)
+	return nil
+}
+
+// figs45 regenerates Figures 4 (latency) and 5 (throughput) under VCT.
+func (e *env) figs45() error {
+	type panel struct {
+		suffix  string
+		traffic dragonfly.Traffic
+		mechs   []dragonfly.Mechanism
+		loads   []float64
+	}
+	un := []dragonfly.Mechanism{dragonfly.PAR62, dragonfly.OLM, dragonfly.RLM, dragonfly.Minimal, dragonfly.Piggybacking}
+	adv := []dragonfly.Mechanism{dragonfly.PAR62, dragonfly.OLM, dragonfly.RLM, dragonfly.Valiant, dragonfly.Piggybacking}
+	panels := []panel{
+		{"a_UN", dragonfly.Traffic{Kind: dragonfly.UN}, un, sweep.Loads(0.05, 0.9, 6)},
+		{"b_ADVG+1", dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, adv, sweep.Loads(0.05, 1.0, 6)},
+		{fmt.Sprintf("c_ADVG+%d", e.h), dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: e.h}, adv, sweep.Loads(0.05, 1.0, 6)},
+	}
+	for _, p := range panels {
+		base := e.vctBase()
+		base.Traffic = p.traffic
+		series, err := sweep.LoadSweep(base, p.mechs, p.loads, e.opt)
+		if err != nil {
+			return err
+		}
+		if err := e.writePanel("fig4"+p.suffix, "Latency "+p.traffic.Name(e.h)+"/VCT",
+			"Offered load", sweep.TotalLatency, series); err != nil {
+			return err
+		}
+		if err := e.writePanel("fig5"+p.suffix, "Throughput "+p.traffic.Name(e.h)+"/VCT",
+			"Offered load", sweep.AcceptedLoad, series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig6 regenerates the VCT mix experiment: throughput (6a) and burst
+// consumption time (6b) versus the percentage of global traffic.
+func (e *env) fig6() error {
+	mechs := []dragonfly.Mechanism{dragonfly.PAR62, dragonfly.OLM, dragonfly.RLM, dragonfly.Piggybacking}
+	pcts := []float64{0, 20, 40, 60, 80, 100}
+	thr, err := sweep.MixSweep(e.vctBase(), mechs, pcts, 1.0, e.opt)
+	if err != nil {
+		return err
+	}
+	if err := e.writePanel("fig6a", "Throughput, ADVG+h/ADVL+1 mix, VCT",
+		"Global traffic (%)", sweep.AcceptedLoad, thr); err != nil {
+		return err
+	}
+	burst, err := sweep.BurstSweep(e.vctBase(), mechs, pcts, e.burstVCT, e.opt)
+	if err != nil {
+		return err
+	}
+	if err := e.writePanel("fig6b",
+		fmt.Sprintf("Burst consumption (%d pkts/node), VCT", e.burstVCT),
+		"Global traffic (%)", sweep.ConsumptionTime, burst); err != nil {
+		return err
+	}
+	e.burstRatios("Figure 6b", burst)
+	return nil
+}
+
+// figs78 regenerates Figures 7 (latency) and 8 (throughput) under WH.
+func (e *env) figs78() error {
+	un := []dragonfly.Mechanism{dragonfly.PAR62, dragonfly.RLM, dragonfly.Minimal, dragonfly.Piggybacking}
+	adv := []dragonfly.Mechanism{dragonfly.PAR62, dragonfly.RLM, dragonfly.Valiant, dragonfly.Piggybacking}
+	type panel struct {
+		suffix  string
+		traffic dragonfly.Traffic
+		mechs   []dragonfly.Mechanism
+		loads   []float64
+	}
+	panels := []panel{
+		{"a_UN", dragonfly.Traffic{Kind: dragonfly.UN}, un, sweep.Loads(0.05, 0.8, 5)},
+		{"b_ADVG+1", dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, adv, sweep.Loads(0.05, 1.0, 5)},
+		{fmt.Sprintf("c_ADVG+%d", e.h), dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: e.h}, adv, sweep.Loads(0.05, 1.0, 5)},
+	}
+	for _, p := range panels {
+		base := e.whBase()
+		base.Traffic = p.traffic
+		series, err := sweep.LoadSweep(base, p.mechs, p.loads, e.opt)
+		if err != nil {
+			return err
+		}
+		if err := e.writePanel("fig7"+p.suffix, "Latency "+p.traffic.Name(e.h)+"/WH",
+			"Offered load", sweep.TotalLatency, series); err != nil {
+			return err
+		}
+		if err := e.writePanel("fig8"+p.suffix, "Throughput "+p.traffic.Name(e.h)+"/WH",
+			"Offered load", sweep.AcceptedLoad, series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig9 regenerates the WH mix and burst experiments.
+func (e *env) fig9() error {
+	mechs := []dragonfly.Mechanism{dragonfly.PAR62, dragonfly.RLM, dragonfly.Piggybacking}
+	pcts := []float64{0, 25, 50, 75, 100}
+	thr, err := sweep.MixSweep(e.whBase(), mechs, pcts, 1.0, e.opt)
+	if err != nil {
+		return err
+	}
+	if err := e.writePanel("fig9a", "Throughput, ADVG+h/ADVL+1 mix, WH",
+		"Global traffic (%)", sweep.AcceptedLoad, thr); err != nil {
+		return err
+	}
+	burst, err := sweep.BurstSweep(e.whBase(), mechs, pcts, e.burstWH, e.opt)
+	if err != nil {
+		return err
+	}
+	if err := e.writePanel("fig9b",
+		fmt.Sprintf("Burst consumption (%d pkts/node), WH", e.burstWH),
+		"Global traffic (%)", sweep.ConsumptionTime, burst); err != nil {
+		return err
+	}
+	e.burstRatios("Figure 9b", burst)
+	return nil
+}
+
+// fig1011 regenerates the RLM threshold sweeps: Figure 10 under UN,
+// Figure 11 under ADVG+1 (both VCT).
+func (e *env) fig1011(fig int) error {
+	base := e.vctBase()
+	var loads []float64
+	if fig == 10 {
+		base.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
+		loads = sweep.Loads(0.1, 0.9, 5)
+	} else {
+		base.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}
+		loads = sweep.Loads(0.1, 1.0, 5)
+	}
+	ths := []float64{0.30, 0.40, 0.45, 0.50, 0.60}
+	series, err := sweep.ThresholdSweep(base, dragonfly.RLM, ths, loads, e.opt)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("fig%d", fig)
+	if err := e.writePanel(name+"a", "RLM threshold sweep latency, "+base.Traffic.Name(e.h),
+		"Offered load", sweep.TotalLatency, series); err != nil {
+		return err
+	}
+	return e.writePanel(name+"b", "RLM threshold sweep throughput, "+base.Traffic.Name(e.h),
+		"Offered load", sweep.AcceptedLoad, series)
+}
+
+// burstRatios appends the paper's burst headline numbers: each mechanism's
+// average consumption time as a fraction of Piggybacking's.
+func (e *env) burstRatios(label string, series []sweep.Series) {
+	var pbAvg float64
+	for _, s := range series {
+		if s.Name == dragonfly.Piggybacking.String() {
+			pbAvg = avgConsumption(s)
+		}
+	}
+	if pbAvg <= 0 {
+		return
+	}
+	fmt.Fprintf(e.summary, "%s consumption time relative to PiggyBacking (paper: OLM 36%%, RLM 42.5%% on 6b; RLM 43%% on 9b):\n\n", label)
+	for _, s := range series {
+		if s.Name == dragonfly.Piggybacking.String() {
+			continue
+		}
+		fmt.Fprintf(e.summary, "- %s: %.0f%%\n", s.Name, 100*avgConsumption(s)/pbAvg)
+	}
+	fmt.Fprintln(e.summary)
+}
+
+func avgConsumption(s sweep.Series) float64 {
+	var sum float64
+	var n int
+	for _, p := range s.Points {
+		if p.Result.ConsumptionCycles > 0 {
+			sum += float64(p.Result.ConsumptionCycles)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfigs:", err)
+	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

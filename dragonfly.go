@@ -1,0 +1,378 @@
+// Package dragonfly is a cycle-accurate simulator of Dragonfly
+// interconnection networks with the deadlock-free adaptive routing
+// mechanisms of García, Vallejo, Beivide, Odriozola and Valero,
+// "Efficient Routing Mechanisms for Dragonfly Networks" (ICPP 2013).
+//
+// It models the canonical well-balanced dragonfly (groups of 2h routers in
+// a complete graph, 2h²+1 groups in a complete graph, h nodes per router)
+// with FIFO input-buffered routers, credit-based virtual cut-through or
+// wormhole flow control, and phit-granularity links — the same abstraction
+// level as the paper's in-house simulator. Six routing mechanisms are
+// provided: Minimal, Valiant, Piggybacking, PAR-6/2, RLM and OLM (plus a
+// sign-only RLM ablation), together with the paper's synthetic traffic
+// patterns (uniform, ADVG+N, ADVL+N, mixed, bursts).
+//
+// # Quick start
+//
+//	cfg := dragonfly.Config{
+//		H:         4,
+//		Mechanism: dragonfly.OLM,
+//		Traffic:   dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1},
+//		Load:      0.5,
+//	}
+//	res, err := dragonfly.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.AcceptedLoad, res.AvgTotalLatency)
+package dragonfly
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Mechanism selects the routing algorithm.
+type Mechanism int
+
+// The routing mechanisms of the paper. RLMSignOnly is the rejected
+// restriction discussed (and dismissed) in Section III-B, kept as an
+// ablation; OFAR is the escape-ring predecessor of Section II
+// (García et al., ICPP 2012) the paper positions RLM and OLM against.
+const (
+	Minimal Mechanism = iota
+	Valiant
+	Piggybacking
+	PAR62
+	RLM
+	OLM
+	RLMSignOnly
+	OFAR
+)
+
+// Mechanisms lists all supported mechanisms in presentation order.
+var Mechanisms = []Mechanism{Minimal, Valiant, Piggybacking, PAR62, RLM, OLM, RLMSignOnly, OFAR}
+
+// String returns the paper's name for the mechanism.
+func (m Mechanism) String() string { return m.spec().String() }
+
+func (m Mechanism) spec() core.Spec { return core.Spec(m) }
+
+// ParseMechanism resolves a mechanism by its String name.
+func ParseMechanism(name string) (Mechanism, error) {
+	s, err := core.ParseSpec(name)
+	if err != nil {
+		return 0, err
+	}
+	return Mechanism(s), nil
+}
+
+// RequiresVCT reports whether the mechanism only works under virtual
+// cut-through flow control (true for OLM and for OFAR, whose escape-ring
+// bubble needs whole-packet buffering).
+func (m Mechanism) RequiresVCT() bool { return m == OLM || m == OFAR }
+
+// VCs returns the number of virtual channels the mechanism needs on local
+// and global ports ("3/2" for everything but PAR-6/2's "6/2").
+func (m Mechanism) VCs() (local, global int) { return core.VCsFor(m.spec()) }
+
+// FlowControl selects the link-level flow control.
+type FlowControl int
+
+// Flow control disciplines.
+const (
+	VCT FlowControl = iota // virtual cut-through
+	WH                     // wormhole
+)
+
+// String returns "VCT" or "WH".
+func (f FlowControl) String() string { return engine.FlowControl(f).String() }
+
+// ParseFlowControl resolves "VCT" or "WH".
+func ParseFlowControl(s string) (FlowControl, error) {
+	f, err := engine.ParseFlowControl(s)
+	return FlowControl(f), err
+}
+
+// TrafficKind selects the synthetic traffic pattern family.
+type TrafficKind int
+
+// Traffic pattern kinds of the paper's evaluation.
+const (
+	UN   TrafficKind = iota // uniform random
+	ADVG                    // adversarial global: group i -> group i+Offset
+	ADVL                    // adversarial local: router i -> router i+Offset
+	MIX                     // GlobalPercent% ADVG+h mixed with ADVL+1
+)
+
+// Traffic describes the workload.
+type Traffic struct {
+	Kind TrafficKind
+	// Offset is the +N of ADVG/ADVL patterns (default 1; the paper's
+	// pathological global pattern is ADVG+h).
+	Offset int
+	// GlobalPercent is, for MIX, the percentage of traffic following
+	// ADVG+h; the rest follows ADVL+1 (paper Figures 6 and 9).
+	GlobalPercent float64
+}
+
+// Name returns the paper's label for the pattern.
+func (tr Traffic) Name(h int) string {
+	switch tr.Kind {
+	case UN:
+		return "UN"
+	case ADVG:
+		return fmt.Sprintf("ADVG+%d", tr.offset())
+	case ADVL:
+		return fmt.Sprintf("ADVL+%d", tr.offset())
+	case MIX:
+		return fmt.Sprintf("%.0f%%ADVG+%d/ADVL+1", tr.GlobalPercent, h)
+	}
+	return "unknown"
+}
+
+func (tr Traffic) offset() int {
+	if tr.Offset == 0 {
+		return 1
+	}
+	return tr.Offset
+}
+
+// Config describes one simulation experiment. Zero fields take the paper's
+// defaults (see the field comments).
+type Config struct {
+	// H is the dragonfly sizing parameter: groups of 2h routers,
+	// 2h²+1 groups, h nodes per router. The paper evaluates h=8
+	// (16,512 nodes); h=4 is a fast reduced-scale default.
+	H int
+
+	Mechanism   Mechanism
+	FlowControl FlowControl
+
+	// PacketPhits is the packet size: 8 in the paper's VCT experiments,
+	// 80 (8 flits of 10 phits) in the WH ones. Default: 8 for VCT,
+	// 80 for WH.
+	PacketPhits int
+
+	// Threshold is the misrouting trigger percentage expressed as a
+	// fraction (default 0.45, the paper's choice).
+	Threshold float64
+	// PBThreshold is Piggybacking's congestion-bit occupancy fraction
+	// (default 0.35).
+	PBThreshold float64
+	// RemoteCandidates is how many remote global channels are sampled as
+	// additional global-misrouting candidates (default 2; -1 restricts
+	// global misrouting to the router's own global ports).
+	RemoteCandidates int
+
+	BufLocal        int // phits per local VC buffer (default 32)
+	BufGlobal       int // phits per global VC buffer (default 256)
+	InjQueuePackets int // injection queue depth in packets (default 16)
+	LatLocal        int // local link latency, cycles (default 10)
+	LatGlobal       int // global link latency, cycles (default 100)
+
+	Traffic Traffic
+	// Load is the offered load in phits/(node·cycle) for steady-state
+	// (Bernoulli) experiments.
+	Load float64
+	// BurstPackets, when positive, switches to the paper's burst
+	// consumption experiment: every node sends this many packets and the
+	// run measures the cycles needed to drain them all.
+	BurstPackets int
+
+	Warmup  int64 // steady-state warmup cycles (default 3000)
+	Measure int64 // steady-state measured cycles (default 6000)
+
+	Seed    uint64
+	Workers int // intra-simulation parallelism (default 1; results are
+	// identical for any worker count)
+
+	MaxCycles int64 // burst safety bound
+	Watchdog  int64 // deadlock watchdog quiet-cycle threshold
+}
+
+// Result is the digest of one run; fields mirror the paper's reported
+// metrics.
+type Result struct {
+	Mechanism   string
+	Pattern     string
+	FlowControl string
+	OfferedLoad float64 // phits/(node·cycle)
+
+	AcceptedLoad      float64 // phits/(node·cycle) delivered
+	AvgTotalLatency   float64 // generation -> delivery, cycles
+	AvgNetworkLatency float64 // injection -> delivery, cycles
+	P50Latency        float64
+	P99Latency        float64
+
+	AvgLocalHops       float64
+	AvgGlobalHops      float64
+	LocalMisrouteRate  float64 // local misroutes per delivered packet
+	GlobalMisrouteRate float64 // Valiant commitments per delivered packet
+	EscapeHopRate      float64 // OFAR escape-ring hops per delivered packet
+
+	Delivered     int64
+	Generated     int64
+	InjectionLost int64
+	Cycles        int64
+	Nodes         int
+
+	LocalLinkUtil  float64
+	GlobalLinkUtil float64
+
+	// ConsumptionCycles is the burst drain time (burst runs only).
+	ConsumptionCycles int64
+	// Deadlock reports that the watchdog detected no forward progress.
+	Deadlock bool
+}
+
+// normalize fills defaults; it returns a copy.
+func (c Config) normalize() Config {
+	if c.H == 0 {
+		c.H = 4
+	}
+	if c.PacketPhits == 0 {
+		if c.FlowControl == WH {
+			c.PacketPhits = 80
+		} else {
+			c.PacketPhits = 8
+		}
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 3000
+	}
+	if c.Measure == 0 {
+		c.Measure = 6000
+	}
+	return c
+}
+
+// Build validates the configuration and assembles the simulator inputs.
+// Most callers use Run; Build is exposed for tools that need the topology.
+func (c Config) build() (engine.Config, *topology.P, error) {
+	c = c.normalize()
+	p, err := topology.New(c.H)
+	if err != nil {
+		return engine.Config{}, nil, err
+	}
+	pattern, err := c.buildPattern(p)
+	if err != nil {
+		return engine.Config{}, nil, err
+	}
+	var process traffic.Process
+	if c.BurstPackets > 0 {
+		process, err = traffic.NewBurst(c.BurstPackets, p.Nodes)
+	} else {
+		process, err = traffic.NewBernoulli(c.Load, c.PacketPhits)
+	}
+	if err != nil {
+		return engine.Config{}, nil, err
+	}
+	ec := engine.Config{
+		Topo: p,
+		Spec: c.Mechanism.spec(),
+		Routing: core.Config{
+			Threshold:        c.Threshold,
+			PBThreshold:      c.PBThreshold,
+			RemoteCandidates: c.RemoteCandidates,
+		},
+		Flow:            engine.FlowControl(c.FlowControl),
+		PacketPhits:     c.PacketPhits,
+		BufLocal:        c.BufLocal,
+		BufGlobal:       c.BufGlobal,
+		InjQueuePackets: c.InjQueuePackets,
+		LatLocal:        c.LatLocal,
+		LatGlobal:       c.LatGlobal,
+		Seed:            c.Seed,
+		Workers:         c.Workers,
+		Pattern:         pattern,
+		Process:         process,
+		Warmup:          c.Warmup,
+		Measure:         c.Measure,
+		MaxCycles:       c.MaxCycles,
+		Watchdog:        c.Watchdog,
+	}
+	return ec, p, nil
+}
+
+func (c Config) buildPattern(p *topology.P) (traffic.Pattern, error) {
+	switch c.Traffic.Kind {
+	case UN:
+		return traffic.NewUniform(p), nil
+	case ADVG:
+		return traffic.NewAdversarialGlobal(p, c.Traffic.offset())
+	case ADVL:
+		return traffic.NewAdversarialLocal(p, c.Traffic.offset())
+	case MIX:
+		g, err := traffic.NewAdversarialGlobal(p, p.H)
+		if err != nil {
+			return nil, err
+		}
+		l, err := traffic.NewAdversarialLocal(p, 1)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewMix(g, l, c.Traffic.GlobalPercent/100)
+	}
+	return nil, fmt.Errorf("dragonfly: unknown traffic kind %d", c.Traffic.Kind)
+}
+
+// Run executes one experiment and returns its metrics. Deadlocks detected
+// by the watchdog are reported via Result.Deadlock rather than an error so
+// sweeps can record them.
+func Run(c Config) (Result, error) {
+	ec, _, err := c.build()
+	if err != nil {
+		return Result{}, err
+	}
+	sim, err := engine.New(ec)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := sim.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return fromMetrics(m, c.normalize()), nil
+}
+
+// NetworkSize returns (routers, nodes, groups) for a given h, for sizing
+// reports and tools.
+func NetworkSize(h int) (routers, nodes, groups int, err error) {
+	p, err := topology.New(h)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return p.Routers, p.Nodes, p.Groups, nil
+}
+
+func fromMetrics(m metrics.Result, c Config) Result {
+	return Result{
+		Mechanism:          m.Mechanism,
+		Pattern:            m.Pattern,
+		FlowControl:        engine.FlowControl(c.FlowControl).String(),
+		OfferedLoad:        c.Load,
+		AcceptedLoad:       m.AcceptedLoad,
+		AvgTotalLatency:    m.AvgTotalLatency,
+		AvgNetworkLatency:  m.AvgNetworkLatency,
+		P50Latency:         m.P50Latency,
+		P99Latency:         m.P99Latency,
+		AvgLocalHops:       m.AvgLocalHops,
+		AvgGlobalHops:      m.AvgGlobalHops,
+		LocalMisrouteRate:  m.LocalMisrouteRate,
+		GlobalMisrouteRate: m.GlobalMisrouteRate,
+		EscapeHopRate:      m.EscapeHopRate,
+		Delivered:          m.Delivered,
+		Generated:          m.Generated,
+		InjectionLost:      m.InjectionLost,
+		Cycles:             m.Cycles,
+		Nodes:              m.Nodes,
+		LocalLinkUtil:      m.LocalLinkUtil,
+		GlobalLinkUtil:     m.GlobalLinkUtil,
+		ConsumptionCycles:  m.ConsumptionCycles,
+		Deadlock:           m.Deadlock,
+	}
+}

@@ -1,0 +1,304 @@
+// adaptive.go implements the three in-transit adaptive mechanisms of the
+// paper — PAR-6/2, RLM and OLM — on top of one shared decision procedure.
+//
+// Every cycle the head packet prefers its minimal output; when that output
+// cannot be claimed, non-minimal candidates are collected and one is chosen
+// uniformly at random among those whose downstream occupancy is below
+// threshold × occupancy(minimal output) and that are claimable now (the
+// paper's credit-based misrouting trigger). Candidates are:
+//
+//   - global misrouting — only in the source group, before any global hop,
+//     for inter-group packets: the router's own global ports, plus a few
+//     sampled remote channels reached through one local hop (yielding the
+//     l-l-g shapes of PAR);
+//   - local misrouting — only in the intermediate and destination groups
+//     (the destination group includes intra-group traffic): a detour to a
+//     neighbor k followed by a forced hop to the local exit j.
+//
+// The mechanisms differ in their virtual-channel discipline and in the
+// constraint on local misrouting:
+//
+//	PAR-6/2  i-th local hop in the path class uses lVC_{2·globals+hops-in-group},
+//	         globals use gVC_i: strictly ascending, 6/2 VCs, no route
+//	         restriction, VCT or WH.
+//	RLM      lVC_{globals+1} for every local hop of a group visit, with the
+//	         parity-sign pair restriction (Table I): 3/2 VCs, VCT or WH.
+//	OLM      ascending escape VCs lVC1<gVC1<lVC2<gVC2<lVC3; local misroute
+//	         hops opportunistically reuse lower VCs (source/intermediate:
+//	         lVC1; destination: lVC2 or lVC1) so that a strictly ascending
+//	         escape path always remains: 3/2 VCs, VCT only.
+package core
+
+import "repro/internal/rng"
+
+// maxLocalHopsPerGroup is the per-supernode local hop budget (the longest
+// route is l-l-g-l-l-g-l-l).
+const maxLocalHopsPerGroup = 2
+
+// candidate is one claimable non-minimal output under consideration.
+type candidate struct {
+	dec Decision
+}
+
+type adaptive struct {
+	cfg  Config
+	spec Spec
+	pair restrictedPairChecker // RLM/RLMSignOnly; nil otherwise
+
+	cands []candidate // scratch, reused across calls (one instance/router)
+}
+
+func newAdaptive(spec Spec, cfg Config, pair restrictedPairChecker) *adaptive {
+	return &adaptive{
+		cfg:   cfg,
+		spec:  spec,
+		pair:  pair,
+		cands: make([]candidate, 0, 64),
+	}
+}
+
+func (a *adaptive) Name() string { return a.spec.String() }
+func (a *adaptive) Spec() Spec   { return a.spec }
+
+func (a *adaptive) LocalVCs() int {
+	if a.spec == PAR62 {
+		return 6
+	}
+	return 3
+}
+
+func (a *adaptive) GlobalVCs() int    { return 2 }
+func (a *adaptive) RequiresVCT() bool { return a.spec == OLM }
+
+// localVC returns the VC for a minimal (or forced) local hop.
+func (a *adaptive) localVC(st *PacketState) int {
+	switch a.spec {
+	case PAR62:
+		// Strictly ascending: source group lVC1/lVC2, intermediate
+		// lVC3/lVC4, destination lVC5/lVC6.
+		return 2*int(st.GlobalHops) + int(st.LocalHopsInGroup)
+	case OFAR:
+		// Two adaptive local VCs; deadlock freedom comes from the
+		// escape ring, not VC ordering.
+		if st.GlobalHops >= 1 {
+			return 1
+		}
+		return 0
+	case OLM:
+		// Escape discipline; the only forced hop that must climb above
+		// the escape level is the post-misroute hop of intra-group
+		// traffic (misroute on lVC1, delivery hop on lVC2).
+		if st.PendingLocal >= 0 && st.GlobalHops == 0 && st.CurGroup == st.DstGroup {
+			return 1
+		}
+		return int(st.GlobalHops)
+	default: // RLM and variants
+		return int(st.GlobalHops)
+	}
+}
+
+// globalVC returns the VC for the next global hop: gVC_{globals+1}
+// (OFAR keeps one adaptive global VC and reserves the other for the ring).
+func (a *adaptive) globalVC(st *PacketState) int {
+	if a.spec == OFAR {
+		return 0
+	}
+	return int(st.GlobalHops)
+}
+
+// misrouteVCs appends the candidate VCs for a local misroute hop in
+// preference order.
+func (a *adaptive) misrouteVCs(st *PacketState, buf []int) []int {
+	switch a.spec {
+	case PAR62:
+		return append(buf, 2*int(st.GlobalHops)+int(st.LocalHopsInGroup))
+	case OFAR:
+		return append(buf, a.localVC(st))
+	case OLM:
+		// Any VC strictly below the escape VC of the *next* mandatory
+		// hop keeps an ascending escape available. In the destination
+		// group after two global hops that is lVC2 or lVC1 (the
+		// paper's Figure 3 route c); everywhere else lVC1.
+		if st.CurGroup == st.DstGroup && st.GlobalHops >= 2 {
+			return append(buf, 1, 0)
+		}
+		return append(buf, 0)
+	default: // RLM: same VC as every local hop of this group visit
+		return append(buf, int(st.GlobalHops))
+	}
+}
+
+// localMisrouteAllowed reports whether st may take a local misroute in its
+// current group: intermediate and destination supernodes only (the paper
+// follows OFAR here), one per group visit, and only from the first local
+// hop of the visit so that the detour plus the forced exit hop fit the
+// two-hop budget.
+func (a *adaptive) localMisrouteAllowed(st *PacketState) bool {
+	if st.LocalMisInGroup || st.LocalHopsInGroup != 0 {
+		return false
+	}
+	inDst := st.CurGroup == st.DstGroup
+	intermediate := st.GlobalHops >= 1 && !inDst
+	return inDst || intermediate
+}
+
+// globalMisrouteAllowed reports whether st may still commit a Valiant
+// intermediate group: in the source group, before any global hop, for
+// inter-group packets, at most once, and not while a forced hop is pending.
+func (a *adaptive) globalMisrouteAllowed(st *PacketState) bool {
+	return st.GlobalHops == 0 &&
+		st.ValiantGroup < 0 &&
+		st.GlobalMisCount == 0 &&
+		st.CurGroup != st.DstGroup &&
+		st.PendingLocal < 0
+}
+
+// Route implements Algorithm.
+func (a *adaptive) Route(v View, st *PacketState, router, size int, r *rng.PCG) Decision {
+	p := a.cfg.Topo
+	idx := p.IndexInGroup(router)
+
+	// A forced hop after a local misroute: no adaptivity.
+	if st.PendingLocal >= 0 {
+		port := p.LocalPort(idx, int(st.PendingLocal))
+		vc := a.localVC(st)
+		if v.CanClaim(port, vc, size) {
+			return Decision{Port: port, VC: vc, Kind: KindMin, NewValiant: -1, LocalFinal: -1}
+		}
+		return waitDecision
+	}
+
+	minPort, minGlobal, exitIdx := minimalNext(p, st, router)
+	minVC := a.localVC(st)
+	if minGlobal {
+		minVC = a.globalVC(st)
+	}
+	if v.CanClaim(minPort, minVC, size) {
+		return Decision{Port: minPort, VC: minVC, Kind: KindMin, NewValiant: -1, LocalFinal: -1}
+	}
+
+	// The minimal output is not available this cycle: evaluate the
+	// misrouting trigger. A candidate is eligible when its normalized
+	// downstream occupancy is below the threshold percentage of the
+	// congestion seen on the minimal route. That congestion is the
+	// larger of the minimal output's downstream occupancy and the
+	// backlog of the queue the packet sits in: a saturated link keeps
+	// its downstream buffer drained (the wire is the bottleneck, as in
+	// ADVL and the ADVG+h transit links), so the queue the packet is
+	// stuck in carries the signal.
+	//
+	// The two misrouting kinds arm differently:
+	//
+	//   - local misrouting arms whenever the minimal output cannot be
+	//     claimed;
+	//   - global misrouting (committing a Valiant detour that doubles
+	//     the packet's global-link usage) arms only when the minimal
+	//     output is credit-congested, mirroring PAR's "divert when the
+	//     minimal global link is saturated".
+	minFrac := occupancyFrac(v, minPort, minVC)
+	if qOcc, qCap := v.CurrentQueue(); qCap > 0 {
+		if f := float64(qOcc) / float64(qCap); f > minFrac {
+			minFrac = f
+		}
+	}
+	limit := a.cfg.Threshold * minFrac
+	a.cands = a.cands[:0]
+	if !v.CanStart(minPort, minVC, size) && a.globalMisrouteAllowed(st) {
+		a.globalCandidates(v, st, router, size, limit, r)
+	}
+	if !minGlobal && a.localMisrouteAllowed(st) {
+		a.localCandidates(v, st, idx, exitIdx, size, limit)
+	}
+	if len(a.cands) == 0 {
+		return waitDecision
+	}
+	return a.cands[r.Intn(len(a.cands))].dec
+}
+
+// occupancyFrac returns downstream occupancy normalized to capacity.
+func occupancyFrac(v View, port, vc int) float64 {
+	c := v.Capacity(port, vc)
+	if c <= 0 {
+		return 0
+	}
+	return float64(v.Occupancy(port, vc)) / float64(c)
+}
+
+// eligible applies the trigger to one output: normalized occupancy below
+// the limit and claimable right now.
+func (a *adaptive) eligible(v View, port, vc, size int, limit float64) bool {
+	return occupancyFrac(v, port, vc) < limit && v.CanClaim(port, vc, size)
+}
+
+// globalCandidates collects Valiant commitments: the router's own global
+// ports and sampled remote channels (one local hop away).
+func (a *adaptive) globalCandidates(v View, st *PacketState, router, size int, limit float64, r *rng.PCG) {
+	p := a.cfg.Topo
+	g := p.GroupOf(router)
+	idx := p.IndexInGroup(router)
+	gvc := a.globalVC(st)
+	for port := p.GlobalPortBase(); port < p.EjectPortBase(); port++ {
+		tg := p.TargetGroup(g, p.GlobalChannelOfPort(idx, port))
+		if tg == int(st.DstGroup) {
+			continue // that would be the minimal channel
+		}
+		if a.eligible(v, port, gvc, size, limit) {
+			a.cands = append(a.cands, candidate{Decision{
+				Port: port, VC: gvc, Kind: KindGlobalMis,
+				NewValiant: tg, LocalFinal: -1,
+			}})
+		}
+	}
+	if st.LocalHopsInGroup >= maxLocalHopsPerGroup {
+		return // a redirect hop would exceed the per-group budget
+	}
+	lvc := a.localVC(st)
+	for i := 0; i < a.cfg.RemoteCandidates; i++ {
+		tg := r.Intn(p.Groups)
+		if tg == g || tg == int(st.DstGroup) {
+			continue
+		}
+		owner := p.MinimalLocalTarget(router, tg)
+		if owner == idx {
+			continue // own channel, already considered above
+		}
+		if a.pair != nil && st.PrevRouter >= 0 {
+			prev := p.IndexInGroup(int(st.PrevRouter))
+			if !a.pair.AllowedHops(prev, idx, owner) {
+				continue // restricted 2-hop local combination
+			}
+		}
+		port := p.LocalPort(idx, owner)
+		if a.eligible(v, port, lvc, size, limit) {
+			a.cands = append(a.cands, candidate{Decision{
+				Port: port, VC: lvc, Kind: KindGlobalMis,
+				NewValiant: tg, LocalFinal: -1,
+			}})
+		}
+	}
+}
+
+// localCandidates collects local misroutes i -> k -> exitIdx.
+func (a *adaptive) localCandidates(v View, st *PacketState, idx, exitIdx, size int, limit float64) {
+	p := a.cfg.Topo
+	var vcBuf [2]int
+	vcs := a.misrouteVCs(st, vcBuf[:0])
+	for k := 0; k < p.RoutersPerGroup; k++ {
+		if k == idx || k == exitIdx {
+			continue
+		}
+		if a.pair != nil && !a.pair.AllowedHops(idx, k, exitIdx) {
+			continue
+		}
+		port := p.LocalPort(idx, k)
+		for _, vc := range vcs {
+			if a.eligible(v, port, vc, size, limit) {
+				a.cands = append(a.cands, candidate{Decision{
+					Port: port, VC: vc, Kind: KindLocalMis,
+					NewValiant: -1, LocalFinal: exitIdx,
+				}})
+				break
+			}
+		}
+	}
+}

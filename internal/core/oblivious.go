@@ -1,0 +1,119 @@
+// oblivious.go implements the three non-in-transit-adaptive baselines the
+// paper compares against:
+//
+//   - Minimal: always the shortest l-g-l route, VCs lVC1-gVC1-lVC2;
+//   - Valiant: a random intermediate group chosen at injection, then
+//     minimal, VCs lVC1-gVC1-lVC2-gVC2-lVC3 (global misrouting only);
+//   - Piggybacking (PB, Jiang et al. ISCA'09 as used by the paper): a
+//     source-adaptive choice between the Minimal and Valiant routes made
+//     at injection from broadcast congestion bits of the source group's
+//     global channels.
+//
+// None of the three performs local misrouting; PB and Valiant may send
+// intra-group traffic through a remote group (the paper notes this is how
+// PB approaches 0.5 phits/node/cycle under pure ADVL traffic).
+package core
+
+import "repro/internal/rng"
+
+// oblivious implements Minimal, Valiant and PB, which share their VC
+// discipline and differ only in the injection-time choice.
+type oblivious struct {
+	cfg  Config
+	spec Spec
+}
+
+func (o *oblivious) Name() string      { return o.spec.String() }
+func (o *oblivious) Spec() Spec        { return o.spec }
+func (o *oblivious) LocalVCs() int     { return 3 }
+func (o *oblivious) GlobalVCs() int    { return 2 }
+func (o *oblivious) RequiresVCT() bool { return false }
+
+// Route implements Algorithm.
+func (o *oblivious) Route(v View, st *PacketState, router, size int, r *rng.PCG) Decision {
+	if !st.InjDecided && int32(router) == st.SrcRouter {
+		o.decideInjection(v, st, router, r)
+	}
+	port, global, _ := minimalNext(o.cfg.Topo, st, router)
+	vc := int(st.GlobalHops) // local hop after g globals uses lVC_{g+1}
+	_ = global
+	if !v.CanClaim(port, vc, size) {
+		return waitDecision
+	}
+	return Decision{Port: port, VC: vc, Kind: KindMin, NewValiant: -1, LocalFinal: -1}
+}
+
+// decideInjection makes the once-per-packet source-routing choice.
+func (o *oblivious) decideInjection(v View, st *PacketState, router int, r *rng.PCG) {
+	st.InjDecided = true
+	switch o.spec {
+	case Minimal:
+		return
+	case Valiant:
+		st.ValiantGroup = int32(o.pickValiantGroup(st, r))
+		st.GlobalMisCount++
+	case PB:
+		if o.pbWantsValiant(v, st, router, r) {
+			st.GlobalMisCount++
+		}
+	}
+}
+
+// pickValiantGroup draws an intermediate group different from the source
+// and destination groups.
+func (o *oblivious) pickValiantGroup(st *PacketState, r *rng.PCG) int {
+	p := o.cfg.Topo
+	sg := int(st.CurGroup)
+	dg := int(st.DstGroup)
+	for {
+		g := r.Intn(p.Groups)
+		if g != sg && g != dg {
+			return g
+		}
+	}
+}
+
+// pbWantsValiant evaluates the Piggybacking criterion and, when Valiant is
+// chosen, commits the intermediate group into st. It reports whether the
+// packet was diverted.
+func (o *oblivious) pbWantsValiant(v View, st *PacketState, router int, r *rng.PCG) bool {
+	p := o.cfg.Topo
+	g := p.GroupOf(router)
+	if int(st.DstGroup) != g {
+		// Remote destination: divert when the minimal global channel
+		// is congested and the sampled Valiant channel is not.
+		kMin := p.ChannelToGroup(g, int(st.DstGroup))
+		if !v.GlobalCongested(kMin) {
+			return false
+		}
+		vg := o.pickValiantGroup(st, r)
+		if v.GlobalCongested(p.ChannelToGroup(g, vg)) {
+			return false
+		}
+		st.ValiantGroup = int32(vg)
+		return true
+	}
+	// Intra-group destination: escape through a random remote group when
+	// the minimal path is congested (paper Section IV-A). A saturated
+	// local link shows almost no downstream occupancy — the link itself
+	// is the bottleneck — so the signal is the source queue backlog,
+	// with the direct port's downstream occupancy as a secondary cue.
+	if int32(router) != st.DstRouter {
+		idx := p.IndexInGroup(router)
+		dIdx := p.IndexInGroup(int(st.DstRouter))
+		port := p.LocalPort(idx, dIdx)
+		qOcc, qCap := v.CurrentQueue()
+		backlog := qCap > 0 && float64(qOcc) >= o.cfg.PBThreshold*float64(qCap)
+		occ, cap := v.Occupancy(port, 0), v.Capacity(port, 0)
+		if !backlog && float64(occ) < o.cfg.PBThreshold*float64(cap) {
+			return false
+		}
+		vg := o.pickValiantGroup(st, r)
+		if v.GlobalCongested(p.ChannelToGroup(g, vg)) {
+			return false
+		}
+		st.ValiantGroup = int32(vg)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+// parity.go implements the parity-sign route restriction at the heart of
+// Restricted Local Misrouting (RLM), paper Section III-B.
+//
+// Local hops inside a supernode are classified by sign — positive when the
+// router index increases, negative when it decreases — and by parity — odd
+// when the two endpoint indices have different parity, even when they have
+// the same parity. A 2-hop local route (i -> k -> j) is permitted only if
+// the ordered pair of its link types is marked Allowed by the table below,
+// which is constructed exactly as the paper prescribes (marking order
+// odd-, even+, odd+, even-) and matches the paper's Table I.
+//
+// Because no allowed sequence of local hops can end on a link of the same
+// type it started with, the per-VC channel dependency graph inside a group
+// is acyclic, making RLM deadlock free with a single local VC per group
+// visit (see TestPairDigraphAcyclic).
+package core
+
+// LinkType classifies a directed local hop by parity and sign.
+type LinkType uint8
+
+// The four local link types, in the marking order used by the paper for
+// Table I: odd-, even+, odd+, even-.
+const (
+	OddNeg LinkType = iota
+	EvenPos
+	OddPos
+	EvenNeg
+	numLinkTypes
+)
+
+// String returns the paper's notation for the link type.
+func (t LinkType) String() string {
+	switch t {
+	case OddNeg:
+		return "odd-"
+	case EvenPos:
+		return "even+"
+	case OddPos:
+		return "odd+"
+	case EvenNeg:
+		return "even-"
+	}
+	return "invalid"
+}
+
+// ClassifyHop returns the type of the local hop from router index i to
+// router index j of the same group. It panics if i == j.
+func ClassifyHop(i, j int) LinkType {
+	if i == j {
+		panic("core: ClassifyHop with i == j")
+	}
+	odd := (i+j)%2 != 0 // endpoints of different parity
+	pos := j > i
+	switch {
+	case odd && pos:
+		return OddPos
+	case odd && !pos:
+		return OddNeg
+	case !odd && pos:
+		return EvenPos
+	default:
+		return EvenNeg
+	}
+}
+
+// ParityTable holds the 4x4 allowed-combination matrix of Table I.
+// allowed[first][second] reports whether a 2-hop route whose first hop has
+// type first and second hop has type second is permitted.
+type ParityTable struct {
+	allowed [numLinkTypes][numLinkTypes]bool
+}
+
+// NewParityTable constructs the table with the paper's marking order:
+// (1) odd-, (2) even+, (3) odd+, (4) even-.
+func NewParityTable() *ParityTable {
+	return NewParityTableOrder([numLinkTypes]LinkType{OddNeg, EvenPos, OddPos, EvenNeg})
+}
+
+// NewParityTableOrder constructs a parity-sign table with an arbitrary
+// marking order, following the paper's algorithm:
+//
+//  1. pairs with both hops of the same type are Allowed;
+//  2. for each type t in order: still-blank pairs starting with t are
+//     marked Allowed; then still-blank pairs ending with t are marked
+//     Not Allowed.
+//
+// Any order yields a deadlock-free table; the default order reproduces
+// Table I of the paper.
+func NewParityTableOrder(order [numLinkTypes]LinkType) *ParityTable {
+	var decided [numLinkTypes][numLinkTypes]bool
+	t := &ParityTable{}
+	for i := LinkType(0); i < numLinkTypes; i++ {
+		t.allowed[i][i] = true
+		decided[i][i] = true
+	}
+	for _, typ := range order {
+		for second := LinkType(0); second < numLinkTypes; second++ {
+			if !decided[typ][second] {
+				decided[typ][second] = true
+				t.allowed[typ][second] = true
+			}
+		}
+		for first := LinkType(0); first < numLinkTypes; first++ {
+			if !decided[first][typ] {
+				decided[first][typ] = true
+				t.allowed[first][typ] = false
+			}
+		}
+	}
+	return t
+}
+
+// Allowed reports whether a 2-hop combination (first, second) is permitted.
+func (t *ParityTable) Allowed(first, second LinkType) bool {
+	return t.allowed[first][second]
+}
+
+// AllowedHops reports whether the consecutive local hops i->k and k->j are
+// permitted. It panics if the hops are degenerate (i==k or k==j).
+func (t *ParityTable) AllowedHops(i, k, j int) bool {
+	return t.Allowed(ClassifyHop(i, k), ClassifyHop(k, j))
+}
+
+// Intermediates returns the set of valid intermediate router indices k for
+// a restricted 2-hop local route from i to j in a group of size routers
+// (k != i, k != j, and the pair (i->k, k->j) allowed). The result is
+// appended to dst to let callers reuse storage.
+func (t *ParityTable) Intermediates(dst []int, i, j, routers int) []int {
+	for k := 0; k < routers; k++ {
+		if k == i || k == j {
+			continue
+		}
+		if t.AllowedHops(i, k, j) {
+			dst = append(dst, k)
+		}
+	}
+	return dst
+}
+
+// restrictedPairChecker abstracts the pair rule so that RLM can run with
+// either the parity-sign table or the sign-only ablation.
+type restrictedPairChecker interface {
+	AllowedHops(i, k, j int) bool
+}

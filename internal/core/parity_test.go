@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTableIMatchesPaper compares the generated table against all 16 rows
+// of Table I in the paper, in the paper's row order.
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := []struct {
+		first, second LinkType
+		allowed       bool
+	}{
+		{OddNeg, EvenPos, true},
+		{OddNeg, EvenNeg, true},
+		{OddNeg, OddPos, true},
+		{OddNeg, OddNeg, true},
+		{EvenPos, EvenPos, true},
+		{EvenPos, EvenNeg, true},
+		{EvenPos, OddPos, true},
+		{EvenPos, OddNeg, false},
+		{OddPos, EvenPos, false},
+		{OddPos, EvenNeg, true},
+		{OddPos, OddPos, true},
+		{OddPos, OddNeg, false},
+		{EvenNeg, EvenPos, false},
+		{EvenNeg, EvenNeg, true},
+		{EvenNeg, OddPos, false},
+		{EvenNeg, OddNeg, false},
+	}
+	tab := NewParityTable()
+	for _, row := range rows {
+		if got := tab.Allowed(row.first, row.second); got != row.allowed {
+			t.Errorf("(%v, %v): allowed=%v, want %v", row.first, row.second, got, row.allowed)
+		}
+	}
+}
+
+func TestClassifyHop(t *testing.T) {
+	cases := []struct {
+		i, j int
+		want LinkType
+	}{
+		{3, 6, OddPos},  // paper's example: 3->6 is positive; 3+6 odd
+		{5, 2, OddNeg},  // paper: link 5-2 is odd
+		{1, 7, EvenPos}, // paper: link 1-7 is even
+		{5, 0, OddNeg},
+		{0, 5, OddPos},
+		{7, 1, EvenNeg},
+		{2, 4, EvenPos},
+	}
+	for _, c := range cases {
+		if got := ClassifyHop(c.i, c.j); got != c.want {
+			t.Errorf("ClassifyHop(%d,%d)=%v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestClassifyHopPanicsOnSelf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClassifyHop(3,3) did not panic")
+		}
+	}()
+	ClassifyHop(3, 3)
+}
+
+// TestPaperFigure2Examples checks the three hop combinations discussed
+// around Figure 2 (h=4 supernode with routers 0..7).
+func TestPaperFigure2Examples(t *testing.T) {
+	tab := NewParityTable()
+	// Combination 2: from 5 to 0 through 1 is [even-, odd-]: forbidden.
+	if tab.AllowedHops(5, 1, 0) {
+		t.Error("route 5->1->0 should be forbidden ([even-, odd-])")
+	}
+	// Paper: node 0 is reachable from 5 through 2, 4 ([odd-, odd-]) and
+	// 6 ([odd+, odd-]).
+	for _, k := range []int{2, 4} {
+		if !tab.AllowedHops(5, k, 0) {
+			t.Errorf("route 5->%d->0 should be allowed ([odd-, odd-])", k)
+		}
+	}
+	if !tab.AllowedHops(5, 6, 0) {
+		t.Error("route 5->6->0 should be allowed ([odd+, odd-])")
+	}
+	// That yields exactly h-1 = 3 two-hop routes from 5 to 0.
+	ks := tab.Intermediates(nil, 5, 0, 8)
+	if len(ks) != 3 {
+		t.Errorf("intermediates(5,0) = %v, want 3 routes", ks)
+	}
+}
+
+// TestAtLeastHMinusOneRoutes verifies the paper's balance guarantee: every
+// ordered router pair has at least h-1 allowed 2-hop routes.
+func TestAtLeastHMinusOneRoutes(t *testing.T) {
+	for _, h := range []int{2, 3, 4, 8, 16} {
+		tab := NewParityTable()
+		n := 2 * h
+		var buf []int
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				buf = tab.Intermediates(buf[:0], i, j, n)
+				if len(buf) < h-1 {
+					t.Errorf("h=%d: pair (%d,%d) has only %d routes, want >= %d",
+						h, i, j, len(buf), h-1)
+				}
+			}
+		}
+	}
+}
+
+// TestSignOnlyUnbalanced verifies the paper's criticism of the sign-only
+// restriction: some pairs (such as 0 -> 1) have no non-minimal route, while
+// others have up to 2h-2.
+func TestSignOnlyUnbalanced(t *testing.T) {
+	s := NewSignOnlyTable()
+	const h = 4
+	n := 2 * h
+	if got := s.Intermediates(nil, 0, 1, n); len(got) != 0 {
+		t.Errorf("sign-only: pair (0,1) has %d routes, paper says none", len(got))
+	}
+	if got := s.Intermediates(nil, 0, n-1, n); len(got) != n-2 {
+		t.Errorf("sign-only: pair (0,%d) has %d routes, want %d", n-1, len(got), n-2)
+	}
+}
+
+// TestPairDigraphAcyclic builds the directed-link dependency graph in which
+// an edge connects local link l1 to local link l2 when l2 may directly
+// follow l1 under the restriction, and asserts it has no directed cycle.
+// This is the deadlock-freedom argument of RLM: a cycle would require some
+// allowed walk to return to (and thus repeat) its first link.
+func TestPairDigraphAcyclic(t *testing.T) {
+	for _, h := range []int{2, 3, 4, 8} {
+		checkAcyclic(t, h, NewParityTable())
+	}
+	// The sign-only table must also be acyclic (it avoids deadlock; its
+	// flaw is unbalance, not unsafety).
+	checkAcyclic(t, 4, NewSignOnlyTable())
+}
+
+func checkAcyclic(t *testing.T, h int, tab restrictedPairChecker) {
+	t.Helper()
+	n := 2 * h
+	// Link id for directed local link i->j.
+	id := func(i, j int) int { return i*n + j }
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n*n)
+	var visit func(i, j int) bool
+	visit = func(i, j int) bool {
+		l := id(i, j)
+		color[l] = gray
+		for k := 0; k < n; k++ {
+			if k == j || k == i {
+				continue
+			}
+			if !tab.AllowedHops(i, j, k) {
+				continue
+			}
+			next := id(j, k)
+			switch color[next] {
+			case gray:
+				return false // back edge: cycle
+			case white:
+				if !visit(j, k) {
+					return false
+				}
+			}
+		}
+		color[l] = black
+		return true
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || color[id(i, j)] != white {
+				continue
+			}
+			if !visit(i, j) {
+				t.Fatalf("h=%d: cycle found in allowed-pair digraph", h)
+			}
+		}
+	}
+}
+
+// TestAnyMarkingOrderIsSafe property-checks that every one of the 24
+// marking orders produces an acyclic (deadlock-free) table. Note that only
+// some orders also preserve the h-1 route balance — the paper's order does
+// (TestAtLeastHMinusOneRoutes); others degenerate like sign-only, which is
+// exactly why the paper fixes the order it does.
+func TestAnyMarkingOrderIsSafe(t *testing.T) {
+	perms := permutations([]LinkType{OddNeg, EvenPos, OddPos, EvenNeg})
+	const h = 4
+	for _, perm := range perms {
+		var order [4]LinkType
+		copy(order[:], perm)
+		tab := NewParityTableOrder(order)
+		checkAcyclic(t, h, tab)
+	}
+}
+
+func permutations(in []LinkType) [][]LinkType {
+	if len(in) <= 1 {
+		return [][]LinkType{append([]LinkType(nil), in...)}
+	}
+	var out [][]LinkType
+	for i := range in {
+		rest := make([]LinkType, 0, len(in)-1)
+		rest = append(rest, in[:i]...)
+		rest = append(rest, in[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]LinkType{in[i]}, p...))
+		}
+	}
+	return out
+}
+
+// TestWalkNeverRevisitsFirstLink property-checks the key invariant the
+// paper states: in any allowed (arbitrarily long) sequence of local hops,
+// the last link is never the same (directed physical) link as the initial
+// one — i.e., no allowed walk can close a cycle through its first link.
+func TestWalkNeverRevisitsFirstLink(t *testing.T) {
+	tab := NewParityTable()
+	const h = 4
+	n := 2 * h
+	f := func(start uint8, steps []uint8) bool {
+		i := int(start) % n
+		j := (i + 1 + int(start)/n%(n-1)) % n
+		if i == j {
+			j = (j + 1) % n
+		}
+		firstI, firstJ := i, j
+		for _, s := range steps {
+			k := int(s) % n
+			if k == j || k == i {
+				continue
+			}
+			if !tab.AllowedHops(i, j, k) {
+				continue
+			}
+			i, j = j, k
+			if i == firstI && j == firstJ {
+				return false // walk returned to its first link
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntermediates(b *testing.B) {
+	tab := NewParityTable()
+	var buf []int
+	for i := 0; i < b.N; i++ {
+		buf = tab.Intermediates(buf[:0], 5, 0, 16)
+	}
+}

@@ -1,0 +1,339 @@
+// Package core implements the routing mechanisms studied in García et al.,
+// "Efficient Routing Mechanisms for Dragonfly Networks" (ICPP 2013): the
+// baselines Minimal, Valiant and Piggybacking, the naïve PAR-6/2, and the
+// paper's two contributions, Restricted Local Misrouting (RLM) and
+// Opportunistic Local Misrouting (OLM).
+//
+// The package is engine-agnostic: a routing Algorithm sees the router it
+// runs on through the View interface (downstream buffer occupancies, claim
+// feasibility, Piggybacking congestion bits) and records per-packet
+// progress in a PacketState. One Algorithm instance is created per router
+// so that implementations may keep scratch state without locking.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Spec identifies a routing mechanism.
+type Spec int
+
+// The mechanisms evaluated in the paper, plus the sign-only RLM ablation
+// and OFAR, the prior local+global misrouting scheme of Section II.
+const (
+	Minimal Spec = iota
+	Valiant
+	PB
+	PAR62
+	RLM
+	OLM
+	RLMSignOnly // ablation: RLM with the unbalanced sign-only restriction
+	OFAR        // escape-ring predecessor (García et al. ICPP 2012)
+)
+
+// String returns the paper's name for the mechanism.
+func (s Spec) String() string {
+	switch s {
+	case Minimal:
+		return "Minimal"
+	case Valiant:
+		return "Valiant"
+	case PB:
+		return "PiggyBacking"
+	case PAR62:
+		return "PAR-6/2"
+	case RLM:
+		return "RLM"
+	case OLM:
+		return "OLM"
+	case RLMSignOnly:
+		return "RLM-signonly"
+	case OFAR:
+		return "OFAR"
+	}
+	return fmt.Sprintf("Spec(%d)", int(s))
+}
+
+// ParseSpec converts a mechanism name (as printed by String, case
+// sensitive) back to its Spec.
+func ParseSpec(name string) (Spec, error) {
+	for s := Minimal; s <= OFAR; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mechanism %q", name)
+}
+
+// Config carries the routing parameters shared by all mechanisms.
+type Config struct {
+	Topo *topology.P
+
+	// Threshold is the misrouting trigger: a non-minimal output is
+	// eligible when its downstream occupancy is below Threshold times
+	// the occupancy of the minimal output (paper Section III; 45% is
+	// the paper's choice for RLM/VCT).
+	Threshold float64
+
+	// PBThreshold is the occupancy fraction above which Piggybacking
+	// marks a channel congested.
+	PBThreshold float64
+
+	// RemoteCandidates is how many remote global channels (reached
+	// through a local hop, enabling the l-l-g PAR shape) are sampled as
+	// global-misrouting candidates in addition to the router's own
+	// global ports. Negative disables remote sampling entirely.
+	RemoteCandidates int
+}
+
+// View is the window a routing algorithm has onto its router. All methods
+// refer to output ports of the current router.
+type View interface {
+	// CanClaim reports whether a packet of size phits could start
+	// crossing output port/vc right now (free output VC and the
+	// flow-control start condition satisfied).
+	CanClaim(port, vc, size int) bool
+	// CanStart reports whether the downstream credits alone would allow
+	// a packet of size phits to start on port/vc, ignoring whether the
+	// output VC is momentarily busy with another packet. The misrouting
+	// trigger is credit-based (paper Section III): a transiently busy
+	// but uncongested minimal output makes the packet wait, not
+	// misroute.
+	CanStart(port, vc, size int) bool
+	// Occupancy returns the downstream buffer occupancy, in phits, of
+	// output port/vc (capacity minus credits).
+	Occupancy(port, vc int) int
+	// Capacity returns the downstream buffer capacity, in phits.
+	Capacity(port, vc int) int
+	// GlobalCongested reports the Piggybacking congestion bit of global
+	// channel k of this router's group, as published last cycle.
+	GlobalCongested(k int) bool
+	// CurrentQueue returns occupancy and capacity, in phits, of the
+	// buffer holding the packet being routed. Piggybacking uses the
+	// injection backlog as its congestion signal for intra-group
+	// traffic, whose bottleneck (the direct local link) never shows up
+	// in downstream credits.
+	CurrentQueue() (occupancy, capacity int)
+	// HeadFullyArrived reports whether every phit of the packet being
+	// routed is buffered at this router. OFAR's escape ring moves
+	// packets store-and-forward style — the bubble argument reasons
+	// about whole packets in buffers, and a strung-out packet on a ring
+	// could catch its own tail.
+	HeadFullyArrived() bool
+}
+
+// Kind labels how a hop was chosen; the engine uses it for statistics and
+// state commits.
+type Kind uint8
+
+// Hop kinds.
+const (
+	KindMin       Kind = iota // minimal (or forced) hop
+	KindLocalMis              // non-minimal local hop
+	KindGlobalMis             // hop committing a Valiant intermediate group
+	KindEscape                // OFAR escape-ring hop under bubble flow control
+)
+
+// Decision is the outcome of one routing evaluation.
+type Decision struct {
+	Wait bool // nothing claimable this cycle; retry next cycle
+	Port int  // output port
+	VC   int  // output virtual channel
+	Kind Kind
+
+	// LocalFinal is, for KindLocalMis, the in-group router index the
+	// packet is forced to visit right after the misroute hop.
+	LocalFinal int
+	// NewValiant is, for KindGlobalMis, the committed intermediate
+	// group; -1 otherwise.
+	NewValiant int
+}
+
+var waitDecision = Decision{Wait: true, NewValiant: -1, LocalFinal: -1}
+
+// PacketState is the per-packet routing state threaded through the network.
+type PacketState struct {
+	Src, Dst  int32 // node ids
+	SrcRouter int32
+	DstRouter int32
+	DstGroup  int32
+
+	CurGroup     int32 // group of the router currently holding the head
+	ValiantGroup int32 // committed intermediate group; -1 when none/done
+	PendingLocal int32 // in-group router index the next hop must reach; -1
+	PrevRouter   int32 // previous router id when the last hop was local; -1
+
+	// Hop counters are int16: packets escaping onto OFAR's ring can
+	// accumulate far more hops than the adaptive 8-hop budget.
+	GlobalHops       int16
+	LocalHops        int16
+	LocalHopsInGroup int16
+	LocalMisCount    int16
+	GlobalMisCount   int16
+	EscapeHops       int16
+	LocalMisInGroup  bool
+	OnEscape         bool // currently riding OFAR's escape ring
+	InjDecided       bool // PB/Valiant made their injection-time choice
+}
+
+// Init fills st for a fresh packet from node src to node dst.
+func (st *PacketState) Init(p *topology.P, src, dst int) {
+	*st = PacketState{
+		Src:          int32(src),
+		Dst:          int32(dst),
+		SrcRouter:    int32(p.RouterOfNode(src)),
+		DstRouter:    int32(p.RouterOfNode(dst)),
+		ValiantGroup: -1,
+		PendingLocal: -1,
+		PrevRouter:   -1,
+	}
+	st.DstGroup = int32(p.GroupOf(int(st.DstRouter)))
+	st.CurGroup = int32(p.GroupOf(int(st.SrcRouter)))
+}
+
+// targetGroup is the group the packet currently steers toward: the Valiant
+// intermediate group while one is pending, the destination group otherwise.
+func (st *PacketState) targetGroup() int {
+	if st.ValiantGroup >= 0 {
+		return int(st.ValiantGroup)
+	}
+	return int(st.DstGroup)
+}
+
+// Algorithm routes head packets at one router.
+type Algorithm interface {
+	// Name returns the mechanism name.
+	Name() string
+	// Spec returns the mechanism identifier.
+	Spec() Spec
+	// LocalVCs and GlobalVCs return the virtual-channel counts the
+	// mechanism needs on local and global ports.
+	LocalVCs() int
+	GlobalVCs() int
+	// RequiresVCT reports whether the mechanism is only deadlock-free
+	// under virtual cut-through flow control (true for OLM).
+	RequiresVCT() bool
+	// Route evaluates the head packet of size phits sitting at router.
+	// It may be called repeatedly (every cycle) until the returned
+	// decision is claimed; it must not mutate st in ways that are not
+	// idempotent, except for the injection-time choices guarded by
+	// st.InjDecided.
+	Route(v View, st *PacketState, router, size int, r *rng.PCG) Decision
+}
+
+// New creates a per-router instance of the requested mechanism.
+func New(spec Spec, cfg Config) (Algorithm, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.45
+	}
+	if cfg.PBThreshold <= 0 {
+		cfg.PBThreshold = 0.35
+	}
+	if cfg.RemoteCandidates < 0 {
+		cfg.RemoteCandidates = 0
+	}
+	switch spec {
+	case Minimal:
+		return &oblivious{cfg: cfg, spec: Minimal}, nil
+	case Valiant:
+		return &oblivious{cfg: cfg, spec: Valiant}, nil
+	case PB:
+		return &oblivious{cfg: cfg, spec: PB}, nil
+	case PAR62:
+		return newAdaptive(PAR62, cfg, nil), nil
+	case RLM:
+		return newAdaptive(RLM, cfg, NewParityTable()), nil
+	case RLMSignOnly:
+		return newAdaptive(RLMSignOnly, cfg, NewSignOnlyTable()), nil
+	case OLM:
+		return newAdaptive(OLM, cfg, nil), nil
+	case OFAR:
+		return newOFAR(cfg), nil
+	}
+	return nil, fmt.Errorf("core: unknown spec %d", spec)
+}
+
+// VCsFor returns the local and global VC counts mechanism spec needs,
+// without instantiating it.
+func VCsFor(spec Spec) (local, global int) {
+	if spec == PAR62 {
+		return 6, 2
+	}
+	return 3, 2
+}
+
+// CommitHop updates the packet state when the engine claims decision dec at
+// router. It must be called exactly once per claimed hop.
+func CommitHop(p *topology.P, st *PacketState, router int, dec Decision) {
+	g := p.GroupOf(router)
+	st.OnEscape = dec.Kind == KindEscape
+	if dec.Kind == KindEscape {
+		st.EscapeHops++
+	}
+	switch {
+	case p.IsLocalPort(dec.Port):
+		to := p.LocalPortTarget(p.IndexInGroup(router), dec.Port)
+		st.LocalHops++
+		st.LocalHopsInGroup++
+		st.PrevRouter = int32(router)
+		if st.PendingLocal >= 0 && int(st.PendingLocal) == to {
+			st.PendingLocal = -1
+		}
+		switch dec.Kind {
+		case KindLocalMis:
+			st.LocalMisCount++
+			st.LocalMisInGroup = true
+			st.PendingLocal = int32(dec.LocalFinal)
+		case KindGlobalMis:
+			// Redirect toward a remote channel: commit the
+			// intermediate group; the hop itself is local.
+			st.ValiantGroup = int32(dec.NewValiant)
+			st.GlobalMisCount++
+		}
+	case p.IsGlobalPort(dec.Port):
+		k := p.GlobalChannelOfPort(p.IndexInGroup(router), dec.Port)
+		tg := p.TargetGroup(g, k)
+		st.GlobalHops++
+		st.CurGroup = int32(tg)
+		st.LocalHopsInGroup = 0
+		st.LocalMisInGroup = false
+		st.PrevRouter = -1
+		st.PendingLocal = -1
+		if dec.Kind == KindGlobalMis {
+			st.ValiantGroup = int32(dec.NewValiant)
+			st.GlobalMisCount++
+		}
+		if st.ValiantGroup == int32(tg) {
+			st.ValiantGroup = -1 // Valiant phase complete
+		}
+	default:
+		panic(fmt.Sprintf("core: CommitHop on non-link port %d", dec.Port))
+	}
+}
+
+// minimalNext computes the minimal next hop of st at router: the output
+// port, whether it is a global hop, and — for local hops — the in-group
+// exit router index the hop heads to.
+func minimalNext(p *topology.P, st *PacketState, router int) (port int, global bool, exitIdx int) {
+	idx := p.IndexInGroup(router)
+	g := p.GroupOf(router)
+	tg := st.targetGroup()
+	if g == tg {
+		// Same group as the steering target. A pending Valiant group
+		// is cleared on arrival, so tg is the destination group here.
+		exitIdx = p.IndexInGroup(int(st.DstRouter))
+		return p.LocalPort(idx, exitIdx), false, exitIdx
+	}
+	k := p.ChannelToGroup(g, tg)
+	owner, gport := p.GlobalPortOfChannel(k)
+	if owner == idx {
+		return gport, true, -1
+	}
+	return p.LocalPort(idx, owner), false, owner
+}

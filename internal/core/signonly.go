@@ -1,0 +1,33 @@
+// signonly.go implements the simplistic "sign-only" route restriction the
+// paper examines and rejects in Section III-B: forbid the (+,-) turn
+// (a positive hop followed by a negative hop). It avoids deadlock but
+// leaves some router pairs — such as (0, 1) — with no non-minimal route at
+// all, unbalancing local links. It is kept as an ablation so the benefit of
+// parity-sign can be measured.
+package core
+
+// SignOnlyTable forbids 2-hop local routes whose first hop increases the
+// router index and whose second hop decreases it.
+type SignOnlyTable struct{}
+
+// NewSignOnlyTable returns the sign-only restriction.
+func NewSignOnlyTable() *SignOnlyTable { return &SignOnlyTable{} }
+
+// AllowedHops reports whether the 2-hop route i->k->j survives the
+// forbidden (+,-) turn rule.
+func (*SignOnlyTable) AllowedHops(i, k, j int) bool {
+	return !(k > i && j < k)
+}
+
+// Intermediates mirrors ParityTable.Intermediates for the ablation.
+func (s *SignOnlyTable) Intermediates(dst []int, i, j, routers int) []int {
+	for k := 0; k < routers; k++ {
+		if k == i || k == j {
+			continue
+		}
+		if s.AllowedHops(i, k, j) {
+			dst = append(dst, k)
+		}
+	}
+	return dst
+}

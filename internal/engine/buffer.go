@@ -1,0 +1,113 @@
+package engine
+
+import "fmt"
+
+// fifoEntry tracks one packet inside a virtual-channel buffer: how many of
+// its phits have arrived into the buffer and how many have already been
+// forwarded out of it. present = arrived - sent phits are physically held.
+type fifoEntry struct {
+	pkt     *Packet
+	arrived int32
+	sent    int32
+}
+
+// vcBuffer is one virtual-channel FIFO of an input port. Packets stream
+// through it under cut-through: an entry exists from the arrival of the
+// head phit to the departure of the tail phit.
+type vcBuffer struct {
+	capacity int32 // phits
+	used     int32 // phits currently held
+
+	entries []fifoEntry // ring
+	head    int
+	count   int
+
+	claimed bool // the head entry holds an output-VC transfer
+}
+
+// initBuffer sizes the ring for fixed-size packets: at most
+// capacity/packet + 2 entries can coexist (full packets plus one streaming
+// in and one streaming out).
+func (b *vcBuffer) init(capacityPhits, packetPhits int) {
+	b.capacity = int32(capacityPhits)
+	n := capacityPhits/packetPhits + 3
+	b.entries = make([]fifoEntry, n)
+	b.head = 0
+	b.count = 0
+}
+
+// empty reports whether no packet is present.
+func (b *vcBuffer) empty() bool { return b.count == 0 }
+
+// headEntry returns the oldest entry; it panics when empty.
+func (b *vcBuffer) headEntry() *fifoEntry {
+	if b.count == 0 {
+		panic("engine: headEntry on empty vcBuffer")
+	}
+	return &b.entries[b.head]
+}
+
+// tailEntry returns the newest entry, or nil when empty.
+func (b *vcBuffer) tailEntry() *fifoEntry {
+	if b.count == 0 {
+		return nil
+	}
+	return &b.entries[(b.head+b.count-1)%len(b.entries)]
+}
+
+// pushPhit accounts the arrival of one phit of pkt, opening a new entry
+// when pkt is not the packet currently streaming in. The tail entry only
+// absorbs the phit while it is still filling: a packet that revisits the
+// same buffer later (possible on OFAR's escape ring) must open a fresh
+// entry or the accounting of the two visits would merge.
+func (b *vcBuffer) pushPhit(pkt *Packet) {
+	if t := b.tailEntry(); t != nil && t.pkt == pkt && t.arrived < pkt.Size {
+		t.arrived++
+		b.used++
+		return
+	}
+	if b.count == len(b.entries) {
+		panic(fmt.Sprintf("engine: vcBuffer ring overflow (cap %d phits, %d entries)",
+			b.capacity, b.count))
+	}
+	b.entries[(b.head+b.count)%len(b.entries)] = fifoEntry{pkt: pkt, arrived: 1}
+	b.count++
+	b.used++
+}
+
+// pushWholePacket enqueues a fully present packet (used by injection
+// queues, where serialization happens on the crossbar instead).
+func (b *vcBuffer) pushWholePacket(pkt *Packet) {
+	if b.count == len(b.entries) || b.used+pkt.Size > b.capacity {
+		panic("engine: pushWholePacket without space")
+	}
+	b.entries[(b.head+b.count)%len(b.entries)] = fifoEntry{pkt: pkt, arrived: pkt.Size}
+	b.count++
+	b.used += pkt.Size
+}
+
+// hasSpaceFor reports whether a whole packet of size phits fits now.
+func (b *vcBuffer) hasSpaceFor(size int32) bool {
+	return b.used+size <= b.capacity && b.count < len(b.entries)
+}
+
+// takePhit accounts one phit of the head entry leaving the buffer and
+// reports whether it was the packet's tail (in which case the entry is
+// popped and the claim released).
+func (b *vcBuffer) takePhit() (pkt *Packet, tail bool) {
+	e := b.headEntry()
+	if e.sent >= e.arrived {
+		panic("engine: takePhit without a buffered phit")
+	}
+	e.sent++
+	b.used--
+	pkt = e.pkt
+	if e.sent == pkt.Size {
+		b.entries[b.head] = fifoEntry{}
+		b.head = (b.head + 1) % len(b.entries)
+		b.count--
+		b.claimed = false
+		return pkt, true
+	}
+	return pkt, false
+}

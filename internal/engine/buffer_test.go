@@ -1,0 +1,110 @@
+package engine
+
+import "testing"
+
+func TestBufferPushTake(t *testing.T) {
+	var b vcBuffer
+	b.init(32, 8)
+	p := &Packet{ID: 1, Size: 8}
+	for i := 0; i < 8; i++ {
+		b.pushPhit(p)
+	}
+	if b.used != 8 || b.count != 1 {
+		t.Fatalf("after arrival: used=%d count=%d", b.used, b.count)
+	}
+	for i := 0; i < 7; i++ {
+		if _, tail := b.takePhit(); tail {
+			t.Fatalf("tail reported at phit %d", i)
+		}
+	}
+	pkt, tail := b.takePhit()
+	if !tail || pkt != p {
+		t.Fatalf("tail not reported on last phit")
+	}
+	if !b.empty() || b.used != 0 {
+		t.Fatalf("buffer not empty after drain: used=%d count=%d", b.used, b.count)
+	}
+}
+
+func TestBufferFIFOOrder(t *testing.T) {
+	var b vcBuffer
+	b.init(32, 8)
+	p1 := &Packet{ID: 1, Size: 8}
+	p2 := &Packet{ID: 2, Size: 8}
+	for i := 0; i < 8; i++ {
+		b.pushPhit(p1)
+	}
+	for i := 0; i < 8; i++ {
+		b.pushPhit(p2)
+	}
+	if b.count != 2 {
+		t.Fatalf("count = %d, want 2", b.count)
+	}
+	if b.headEntry().pkt != p1 {
+		t.Fatal("head is not the first packet")
+	}
+	for i := 0; i < 8; i++ {
+		b.takePhit()
+	}
+	if b.headEntry().pkt != p2 {
+		t.Fatal("second packet did not become head")
+	}
+}
+
+func TestBufferCutThroughInterleaving(t *testing.T) {
+	// A packet can start leaving while still arriving.
+	var b vcBuffer
+	b.init(32, 8)
+	p := &Packet{ID: 1, Size: 8}
+	b.pushPhit(p)
+	if _, tail := b.takePhit(); tail {
+		t.Fatal("tail on first phit")
+	}
+	// Now the head entry holds zero phits but remains present.
+	if b.empty() {
+		t.Fatal("buffer empty while packet streams through")
+	}
+	b.pushPhit(p)
+	b.pushPhit(p)
+	if b.used != 2 {
+		t.Fatalf("used = %d, want 2", b.used)
+	}
+}
+
+func TestBufferSpaceAccounting(t *testing.T) {
+	var b vcBuffer
+	b.init(16, 8)
+	if !b.hasSpaceFor(8) {
+		t.Fatal("fresh buffer rejects a packet")
+	}
+	b.pushWholePacket(&Packet{ID: 1, Size: 8})
+	b.pushWholePacket(&Packet{ID: 2, Size: 8})
+	if b.hasSpaceFor(8) {
+		t.Fatal("full buffer accepts a packet")
+	}
+}
+
+func TestBufferTakeFromEmptyPanics(t *testing.T) {
+	var b vcBuffer
+	b.init(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("takePhit on empty buffer did not panic")
+		}
+	}()
+	b.takePhit()
+}
+
+func TestBufferTakeBeyondArrivedPanics(t *testing.T) {
+	var b vcBuffer
+	b.init(8, 8)
+	p := &Packet{ID: 1, Size: 8}
+	b.pushPhit(p)
+	b.takePhit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("takePhit beyond arrived did not panic")
+		}
+	}()
+	b.takePhit()
+}

@@ -1,0 +1,426 @@
+// Package engine is the cycle-accurate dragonfly network simulator:
+// FIFO input-buffered routers with per-VC buffers, credit-based VCT or
+// wormhole flow control, phit-granularity links with configurable latency,
+// and a crossbar moving at most one phit per input and per output port per
+// cycle — the model used by the paper's in-house single-cycle simulator.
+//
+// All cross-router communication rides on time-indexed single-writer
+// single-reader rings, so a simulation can be executed by several workers
+// (one barrier per cycle) with results identical to serial execution.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Topo *topology.P
+	Spec core.Spec
+	// Routing carries the misrouting trigger parameters; Routing.Topo is
+	// filled from Topo automatically.
+	Routing core.Config
+
+	Flow        FlowControl
+	PacketPhits int // packet size (8 for the paper's VCT runs, 80 for WH)
+
+	BufLocal        int // phits per local input VC (paper: 32)
+	BufGlobal       int // phits per global input VC (paper: 256)
+	InjQueuePackets int // injection queue depth in packets
+	LatLocal        int // local link latency in cycles (paper: 10)
+	LatGlobal       int // global link latency in cycles (paper: 100)
+
+	Seed    uint64
+	Workers int // parallel execution shards; <=1 runs serially
+
+	Pattern traffic.Pattern
+	Process traffic.Process
+
+	Warmup  int64 // steady-state: cycles before measurement starts
+	Measure int64 // steady-state: measured cycles
+
+	MaxCycles int64 // burst mode safety bound (0 = 50x warm+measure)
+	Watchdog  int64 // quiet cycles before declaring deadlock (0 = 20000)
+}
+
+// setDefaults fills unset fields with the paper's defaults.
+func (c *Config) setDefaults() {
+	if c.PacketPhits == 0 {
+		c.PacketPhits = 8
+	}
+	if c.BufLocal == 0 {
+		c.BufLocal = 32
+	}
+	if c.BufGlobal == 0 {
+		c.BufGlobal = 256
+	}
+	if c.InjQueuePackets == 0 {
+		c.InjQueuePackets = 16
+	}
+	if c.LatLocal == 0 {
+		c.LatLocal = 10
+	}
+	if c.LatGlobal == 0 {
+		c.LatGlobal = 100
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Watchdog == 0 {
+		c.Watchdog = 20000
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 50 * (c.Warmup + c.Measure + 20000)
+	}
+}
+
+// validate rejects configurations the mechanisms cannot support.
+func (c *Config) validate() error {
+	if c.Topo == nil {
+		return fmt.Errorf("engine: nil topology")
+	}
+	if c.Pattern == nil || c.Process == nil {
+		return fmt.Errorf("engine: traffic pattern and process are required")
+	}
+	if c.PacketPhits < 1 {
+		return fmt.Errorf("engine: packet size %d phits", c.PacketPhits)
+	}
+	if c.Flow == VCT {
+		if c.BufLocal < c.PacketPhits || c.BufGlobal < c.PacketPhits {
+			return fmt.Errorf("engine: VCT needs buffers >= packet size (%d/%d < %d)",
+				c.BufLocal, c.BufGlobal, c.PacketPhits)
+		}
+	}
+	return nil
+}
+
+// Sim is an instantiated simulation. A Sim runs once; build a new one per
+// experiment point.
+type Sim struct {
+	cfg     Config
+	topo    *topology.P
+	routers []router
+	pattern traffic.Pattern
+	process traffic.Process
+
+	pbEnabled   bool
+	pbPublished [][]bool
+	pbNext      [][]bool
+
+	sheets []metrics.Sheet // one per worker
+
+	cycle int64
+	ran   bool
+}
+
+// New builds the network: routers, buffers, link rings and routing
+// instances.
+func New(cfg Config) (*Sim, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Topo
+	cfg.Routing.Topo = p
+	if cfg.Routing.RemoteCandidates == 0 {
+		cfg.Routing.RemoteCandidates = 2
+	}
+	// Mirror core.New's defaults here: the engine reads these fields
+	// itself (publishPB uses PBThreshold).
+	if cfg.Routing.Threshold <= 0 {
+		cfg.Routing.Threshold = 0.45
+	}
+	if cfg.Routing.PBThreshold <= 0 {
+		cfg.Routing.PBThreshold = 0.35
+	}
+	probe, err := core.New(cfg.Spec, cfg.Routing)
+	if err != nil {
+		return nil, err
+	}
+	if probe.RequiresVCT() && cfg.Flow != VCT {
+		return nil, fmt.Errorf("engine: %s requires VCT flow control", probe.Name())
+	}
+	localVCs, globalVCs := probe.LocalVCs(), probe.GlobalVCs()
+
+	s := &Sim{
+		cfg:       cfg,
+		topo:      p,
+		pattern:   cfg.Pattern,
+		process:   cfg.Process,
+		pbEnabled: cfg.Spec == core.PB,
+		routers:   make([]router, p.Routers),
+		sheets:    make([]metrics.Sheet, cfg.Workers),
+	}
+	if s.pbEnabled {
+		s.pbPublished = make([][]bool, p.Groups)
+		s.pbNext = make([][]bool, p.Groups)
+		for g := range s.pbPublished {
+			s.pbPublished[g] = make([]bool, p.ChannelsPerGrp)
+			s.pbNext[g] = make([]bool, p.ChannelsPerGrp)
+		}
+	}
+
+	for id := range s.routers {
+		r := &s.routers[id]
+		r.id = id
+		r.eng = s
+		r.alg, err = core.New(cfg.Spec, cfg.Routing)
+		if err != nil {
+			return nil, err
+		}
+		r.routeRand = rng.New(cfg.Seed, uint64(id)*2+1)
+		r.nodeRand = make([]*rng.PCG, p.H)
+		for k := range r.nodeRand {
+			r.nodeRand[k] = rng.New(cfg.Seed, uint64(p.NodeID(id, k))*2+2_000_000)
+		}
+		r.in = make([]inPort, p.Ports)
+		r.out = make([]outPort, p.Ports)
+		r.portSent = make([]bool, p.Ports)
+		r.inputUsed = make([]bool, p.Ports)
+		for port := 0; port < p.Ports; port++ {
+			switch {
+			case p.IsLocalPort(port):
+				r.in[port].vcs = make([]vcBuffer, localVCs)
+				for v := range r.in[port].vcs {
+					r.in[port].vcs[v].init(cfg.BufLocal, cfg.PacketPhits)
+				}
+				r.out[port] = makeOutPort(localVCs, cfg.BufLocal)
+			case p.IsGlobalPort(port):
+				r.in[port].vcs = make([]vcBuffer, globalVCs)
+				for v := range r.in[port].vcs {
+					r.in[port].vcs[v].init(cfg.BufGlobal, cfg.PacketPhits)
+				}
+				r.out[port] = makeOutPort(globalVCs, cfg.BufGlobal)
+				r.out[port].global = true
+			default: // injection (input) / ejection (output)
+				r.in[port].vcs = make([]vcBuffer, 1)
+				r.in[port].vcs[0].init(cfg.InjQueuePackets*cfg.PacketPhits, cfg.PacketPhits)
+				r.out[port].transfers = make([]transfer, 1)
+			}
+		}
+	}
+
+	// Wire the links: the sender owns the link object; the receiver's
+	// input port points at it.
+	for id := range s.routers {
+		r := &s.routers[id]
+		for port := 0; port < p.EjectPortBase(); port++ {
+			lat := cfg.LatLocal
+			if p.IsGlobalPort(port) {
+				lat = cfg.LatGlobal
+			}
+			l := newLink(lat)
+			r.out[port].link = l
+			rr, rp := p.LinkTarget(id, port)
+			s.routers[rr].in[rp].link = l
+		}
+	}
+	return s, nil
+}
+
+func makeOutPort(vcs, capacity int) outPort {
+	op := outPort{
+		credits:   make([]int32, vcs),
+		transfers: make([]transfer, vcs),
+		capacity:  int32(capacity),
+	}
+	for v := range op.credits {
+		op.credits[v] = int32(capacity)
+	}
+	return op
+}
+
+// consumeFinite forwards a successful injection to finite processes.
+func (s *Sim) consumeFinite(node int) {
+	s.process.Consume(node)
+}
+
+// stepCycle advances the whole network one cycle, serially.
+func (s *Sim) stepCycle() {
+	for i := range s.routers {
+		s.routers[i].step(s.cycle, &s.sheets[0])
+	}
+	s.finishCycle()
+}
+
+// finishCycle performs the end-of-cycle bookkeeping shared by the serial
+// and parallel paths.
+func (s *Sim) finishCycle() {
+	if s.pbEnabled {
+		s.pbPublished, s.pbNext = s.pbNext, s.pbPublished
+	}
+	s.cycle++
+}
+
+// totals sums the per-router progress counters.
+func (s *Sim) totals() (moved, live, generated int64) {
+	for i := range s.routers {
+		moved += s.routers[i].phitsMoved
+		live += s.routers[i].live
+		generated += s.routers[i].generated
+	}
+	return
+}
+
+// lastDelivery returns the latest delivery cycle across routers.
+func (s *Sim) lastDelivery() int64 {
+	var last int64 = -1
+	for i := range s.routers {
+		if s.routers[i].lastDeliveryCycle > last {
+			last = s.routers[i].lastDeliveryCycle
+		}
+	}
+	return last
+}
+
+// resetSheets clears measurement state at the warmup boundary.
+func (s *Sim) resetSheets() {
+	for i := range s.sheets {
+		s.sheets[i].Reset()
+	}
+}
+
+// Run executes the experiment: warmup plus measurement for steady-state
+// traffic processes, or run-to-drain for finite (burst) processes. It
+// returns the digested metrics. A deadlock detected by the watchdog is
+// reported through Result.Deadlock, not an error.
+func (s *Sim) Run() (metrics.Result, error) {
+	if s.ran {
+		return metrics.Result{}, fmt.Errorf("engine: Sim.Run called twice")
+	}
+	s.ran = true
+
+	var stop func()
+	step := s.stepCycle
+	if s.cfg.Workers > 1 {
+		step, stop = s.startWorkers()
+		defer stop()
+	}
+
+	deadlock := false
+	if s.process.Finite() {
+		deadlock = s.runBurst(step)
+	} else {
+		deadlock = s.runSteady(step)
+	}
+
+	var sheet metrics.Sheet
+	for i := range s.sheets {
+		sheet.Merge(&s.sheets[i])
+	}
+	cycles := s.cfg.Measure
+	if s.process.Finite() {
+		cycles = s.cycle
+	}
+	p := s.topo
+	res := metrics.Digest(&sheet, cycles, p.Nodes,
+		p.Routers*p.LocalPorts, p.Routers*p.GlobalPorts)
+	res.Mechanism = s.cfg.Spec.String()
+	res.Pattern = s.pattern.Name()
+	res.Deadlock = deadlock
+	if s.process.Finite() {
+		res.ConsumptionCycles = s.lastDelivery()
+	}
+	return res, nil
+}
+
+// runSteady runs warmup then measurement, returning true on deadlock.
+func (s *Sim) runSteady(step func()) bool {
+	var lastMoved int64
+	quiet := int64(0)
+	total := s.cfg.Warmup + s.cfg.Measure
+	for s.cycle < total {
+		if s.cycle == s.cfg.Warmup {
+			s.resetSheets()
+		}
+		step()
+		moved, live, _ := s.totals()
+		if moved == lastMoved && live > 0 {
+			quiet++
+			if quiet >= s.cfg.Watchdog {
+				return true
+			}
+		} else {
+			quiet = 0
+		}
+		lastMoved = moved
+	}
+	return false
+}
+
+// runBurst runs a finite process until every packet drained, returning
+// true on deadlock (or on exceeding MaxCycles, which is reported the same
+// way since the network failed to drain).
+func (s *Sim) runBurst(step func()) bool {
+	target := s.process.Total()
+	var lastMoved int64
+	quiet := int64(0)
+	for s.cycle < s.cfg.MaxCycles {
+		step()
+		moved, live, generated := s.totals()
+		if generated >= target && live == 0 {
+			return false
+		}
+		if moved == lastMoved && live > 0 {
+			quiet++
+			if quiet >= s.cfg.Watchdog {
+				return true
+			}
+		} else {
+			quiet = 0
+		}
+		lastMoved = moved
+	}
+	return true
+}
+
+// startWorkers launches persistent shard workers and returns a step
+// function driving one barrier-synchronized cycle, plus a stop function.
+func (s *Sim) startWorkers() (step func(), stop func()) {
+	n := s.cfg.Workers
+	if n > len(s.routers) {
+		n = len(s.routers)
+	}
+	starts := make([]chan int64, n)
+	var wg sync.WaitGroup
+	per := (len(s.routers) + n - 1) / n
+	for w := 0; w < n; w++ {
+		starts[w] = make(chan int64, 1)
+		lo, hi := w*per, (w+1)*per
+		if hi > len(s.routers) {
+			hi = len(s.routers)
+		}
+		go func(w, lo, hi int) {
+			for cycle := range starts[w] {
+				for i := lo; i < hi; i++ {
+					s.routers[i].step(cycle, &s.sheets[w])
+				}
+				wg.Done()
+			}
+		}(w, lo, hi)
+	}
+	step = func() {
+		wg.Add(n)
+		for w := 0; w < n; w++ {
+			starts[w] <- s.cycle
+		}
+		wg.Wait()
+		s.finishCycle()
+	}
+	stop = func() {
+		for w := 0; w < n; w++ {
+			close(starts[w])
+		}
+	}
+	return step, stop
+}
+
+// Cycle returns the current simulation cycle (for tests and tooling).
+func (s *Sim) Cycle() int64 { return s.cycle }

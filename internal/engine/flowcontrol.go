@@ -1,0 +1,47 @@
+package engine
+
+import "fmt"
+
+// FlowControl selects the link-level flow control discipline.
+type FlowControl int
+
+const (
+	// VCT is virtual cut-through: a packet claims an output VC only when
+	// the downstream buffer can hold it entirely; streaming then never
+	// stalls on credits.
+	VCT FlowControl = iota
+	// WH is wormhole: a packet claims an output VC as soon as one phit
+	// of space is available; it may block spanning several routers,
+	// creating the extended dependencies the paper discusses.
+	WH
+)
+
+// String returns "VCT" or "WH".
+func (f FlowControl) String() string {
+	switch f {
+	case VCT:
+		return "VCT"
+	case WH:
+		return "WH"
+	}
+	return fmt.Sprintf("FlowControl(%d)", int(f))
+}
+
+// ParseFlowControl converts "VCT" or "WH" to the enum.
+func ParseFlowControl(s string) (FlowControl, error) {
+	switch s {
+	case "VCT":
+		return VCT, nil
+	case "WH":
+		return WH, nil
+	}
+	return 0, fmt.Errorf("engine: unknown flow control %q", s)
+}
+
+// claimNeed returns the credits required to start a packet of size phits.
+func (f FlowControl) claimNeed(size int32) int32 {
+	if f == VCT {
+		return size
+	}
+	return 1
+}

@@ -1,0 +1,87 @@
+package engine
+
+// link is one directed physical channel. The sender writes at most one phit
+// per cycle into the time-indexed phit ring; the receiver reads slot
+// cycle%len. Credits travel the opposite way on the credit ring with the
+// same latency. Both rings are single-writer/single-reader, which is what
+// makes the parallel executor race-free without locks: slot indices written
+// during cycle t (t+latency) never collide with the ones read at t as long
+// as the ring has latency+2 slots.
+type link struct {
+	latency int
+	mask    int64 // ring length - 1 (length is a power of two)
+
+	phits   []phitSlot
+	credits []creditSlot
+}
+
+// phitSlot carries one phit: the packet it belongs to and the virtual
+// channel it rides on (sender output VC == receiver input VC).
+type phitSlot struct {
+	pkt *Packet
+	vc  int8
+}
+
+// creditSlot returns one buffer credit for a VC of the receiver's input
+// port back to the sender.
+type creditSlot struct {
+	vc    int8
+	valid bool
+}
+
+func newLink(latency int) *link {
+	if latency < 1 {
+		latency = 1
+	}
+	n := 1
+	for n < latency+2 {
+		n <<= 1
+	}
+	return &link{
+		latency: latency,
+		mask:    int64(n - 1),
+		phits:   make([]phitSlot, n),
+		credits: make([]creditSlot, n),
+	}
+}
+
+// sendPhit schedules a phit to arrive at now+latency.
+func (l *link) sendPhit(now int64, pkt *Packet, vc int) {
+	s := &l.phits[(now+int64(l.latency))&l.mask]
+	if s.pkt != nil {
+		panic("engine: phit slot collision")
+	}
+	s.pkt = pkt
+	s.vc = int8(vc)
+}
+
+// recvPhit consumes the phit arriving now, if any.
+func (l *link) recvPhit(now int64) (pkt *Packet, vc int) {
+	s := &l.phits[now&l.mask]
+	if s.pkt == nil {
+		return nil, 0
+	}
+	pkt, vc = s.pkt, int(s.vc)
+	s.pkt = nil
+	return pkt, vc
+}
+
+// sendCredit schedules a credit to arrive at the sender at now+latency.
+func (l *link) sendCredit(now int64, vc int) {
+	s := &l.credits[(now+int64(l.latency))&l.mask]
+	if s.valid {
+		panic("engine: credit slot collision")
+	}
+	s.vc = int8(vc)
+	s.valid = true
+}
+
+// recvCredit consumes the credit arriving now, if any.
+func (l *link) recvCredit(now int64) (vc int, ok bool) {
+	s := &l.credits[now&l.mask]
+	if !s.valid {
+		return 0, false
+	}
+	s.valid = false
+	return int(s.vc), true
+}

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Packet is one network packet. The engine moves it phit by phit; buffers
+// and links reference it by pointer, so a packet is allocated once per
+// injection and recycled after delivery.
+type Packet struct {
+	ID         int64
+	Size       int32 // phits
+	CreatedAt  int64 // cycle the traffic process generated it
+	InjectedAt int64 // cycle its head left the injection queue (-1 until then)
+
+	St core.PacketState // routing state
+}
+
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// newPacket draws a packet from the pool.
+func newPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// freePacket returns a delivered packet to the pool. Callers must not
+// retain references afterwards.
+func freePacket(p *Packet) {
+	*p = Packet{}
+	if !disablePool {
+		packetPool.Put(p)
+	}
+}
+
+// disablePool turns packet recycling off (diagnostics only).
+var disablePool = false

@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// transfer is an active output-VC allocation: the head packet of input VC
+// (inPort, inVC) streams through this output VC until its tail passes.
+type transfer struct {
+	active bool
+	inPort int16
+	inVC   int8
+	pkt    *Packet
+}
+
+// outPort is one output of a router: the link it drives (nil for ejection
+// ports), the credit counters for the downstream buffers, and the per-VC
+// transfer slots.
+type outPort struct {
+	link      *link
+	credits   []int32 // per VC; unused for ejection
+	capacity  int32   // downstream buffer capacity per VC (phits)
+	transfers []transfer
+	rr        int  // round-robin cursor over VCs
+	global    bool // link class, for statistics
+}
+
+// inPort is one input of a router: per-VC buffers fed by a link (or, for
+// injection ports, by the local traffic generator).
+type inPort struct {
+	vcs  []vcBuffer
+	link *link // nil for injection ports
+}
+
+// router holds all per-router simulation state. Routers never touch each
+// other's state directly: all communication crosses time-indexed link
+// rings, so the parallel executor can run routers of the same cycle
+// concurrently.
+type router struct {
+	id  int
+	eng *Sim
+	alg core.Algorithm
+
+	in  []inPort
+	out []outPort
+
+	routeRand *rng.PCG
+	nodeRand  []*rng.PCG // one generator stream per attached node
+
+	rrIn int // round-robin cursor over input ports for new claims
+
+	// per-cycle scratch
+	portSent  []bool // output port already transmitted this cycle
+	inputUsed []bool // input port already read this cycle
+
+	// curQueueOcc/Cap/HeadFull describe the input buffer of the packet
+	// currently being routed (set around each alg.Route call; see
+	// CurrentQueue and HeadFullyArrived).
+	curQueueOcc int
+	curQueueCap int
+	curHeadFull bool
+
+	pktSeq int64 // per-router packet id sequence
+
+	// counters local to the current cycle's worker
+	phitsMoved        int64
+	live              int64 // injected minus delivered (all-time)
+	generated         int64 // all-time injected packets
+	lastDeliveryCycle int64
+}
+
+// view adapts the router to core.View during routing evaluation.
+func (r *router) CanClaim(port, vc, size int) bool {
+	op := &r.out[port]
+	if op.transfers[vc].active {
+		return false
+	}
+	if op.link == nil {
+		return true // ejection: infinite credits
+	}
+	return op.credits[vc] >= r.eng.cfg.Flow.claimNeed(int32(size))
+}
+
+// CanStart implements core.View: the credit-only claim condition.
+func (r *router) CanStart(port, vc, size int) bool {
+	op := &r.out[port]
+	if op.link == nil {
+		return true
+	}
+	return op.credits[vc] >= r.eng.cfg.Flow.claimNeed(int32(size))
+}
+
+// Occupancy implements core.View.
+func (r *router) Occupancy(port, vc int) int {
+	op := &r.out[port]
+	if op.link == nil {
+		return 0
+	}
+	return int(op.capacity - op.credits[vc])
+}
+
+// Capacity implements core.View.
+func (r *router) Capacity(port, vc int) int { return int(r.out[port].capacity) }
+
+// GlobalCongested implements core.View.
+func (r *router) GlobalCongested(k int) bool {
+	g := r.eng.topo.GroupOf(r.id)
+	return r.eng.pbPublished[g][k]
+}
+
+// CurrentQueue implements core.View.
+func (r *router) CurrentQueue() (occupancy, capacity int) {
+	return r.curQueueOcc, r.curQueueCap
+}
+
+// HeadFullyArrived implements core.View.
+func (r *router) HeadFullyArrived() bool { return r.curHeadFull }
+
+// step advances the router by one cycle.
+func (r *router) step(cycle int64, sheet *metrics.Sheet) {
+	r.absorb(cycle)
+	r.inject(cycle, sheet)
+	for i := range r.portSent {
+		r.portSent[i] = false
+	}
+	for i := range r.inputUsed {
+		r.inputUsed[i] = false
+	}
+	r.continueTransfers(cycle, sheet)
+	r.makeClaims(cycle, sheet)
+	r.publishPB()
+}
+
+// absorb pulls arriving phits into input buffers and arriving credits into
+// output counters.
+func (r *router) absorb(cycle int64) {
+	for i := range r.in {
+		ip := &r.in[i]
+		if ip.link == nil {
+			continue
+		}
+		if pkt, vc := ip.link.recvPhit(cycle); pkt != nil {
+			ip.vcs[vc].pushPhit(pkt)
+		}
+	}
+	for i := range r.out {
+		op := &r.out[i]
+		if op.link == nil {
+			continue
+		}
+		if vc, ok := op.link.recvCredit(cycle); ok {
+			op.credits[vc]++
+			if op.credits[vc] > op.capacity {
+				panic("engine: credit overflow")
+			}
+		}
+	}
+}
+
+// inject asks the traffic process for new packets and queues them.
+func (r *router) inject(cycle int64, sheet *metrics.Sheet) {
+	e := r.eng
+	base := e.topo.EjectPortBase()
+	for k := 0; k < e.topo.H; k++ {
+		node := e.topo.NodeID(r.id, k)
+		rnd := r.nodeRand[k]
+		if !e.process.Generate(node, cycle, rnd) {
+			continue
+		}
+		q := &r.in[base+k].vcs[0]
+		if !q.hasSpaceFor(int32(e.cfg.PacketPhits)) {
+			if !e.process.Finite() {
+				sheet.InjectionLost++
+				sheet.Generated++
+			}
+			continue // finite processes retry next cycle
+		}
+		pkt := newPacket()
+		pkt.ID = int64(r.id)<<32 | r.pktSeq
+		r.pktSeq++
+		pkt.Size = int32(e.cfg.PacketPhits)
+		pkt.CreatedAt = cycle
+		pkt.InjectedAt = -1
+		dst := e.pattern.Dest(node, rnd)
+		pkt.St.Init(e.topo, node, dst)
+		q.pushWholePacket(pkt)
+		e.consumeFinite(node)
+		sheet.Generated++
+		sheet.Injected++
+		r.generated++
+		r.live++
+	}
+}
+
+// continueTransfers moves one phit per output port among its active
+// transfers, respecting the one-phit-per-input-port crossbar constraint.
+func (r *router) continueTransfers(cycle int64, sheet *metrics.Sheet) {
+	for p := range r.out {
+		op := &r.out[p]
+		n := len(op.transfers)
+		for i := 0; i < n; i++ {
+			vc := (op.rr + i) % n
+			if !op.transfers[vc].active {
+				continue
+			}
+			if r.trySendPhit(cycle, p, vc, sheet) {
+				op.rr = vc + 1
+				break
+			}
+		}
+	}
+}
+
+// trySendPhit attempts to move one phit of the transfer on (port, vc).
+// It returns true if a phit moved.
+func (r *router) trySendPhit(cycle int64, port, vc int, sheet *metrics.Sheet) bool {
+	op := &r.out[port]
+	t := &op.transfers[vc]
+	if r.portSent[port] || r.inputUsed[t.inPort] {
+		return false
+	}
+	buf := &r.in[t.inPort].vcs[t.inVC]
+	if buf.empty() {
+		return false
+	}
+	e := buf.headEntry()
+	if e.pkt != t.pkt {
+		panic("engine: transfer head mismatch")
+	}
+	if e.sent >= e.arrived {
+		return false // next phit not here yet (cut-through)
+	}
+	if op.link != nil {
+		// Under VCT the whole packet's credits were reserved at claim
+		// time (see claimHead), so streaming never stalls on credits;
+		// under wormhole, backpressure is per phit.
+		if r.eng.cfg.Flow == WH {
+			if op.credits[vc] <= 0 {
+				return false
+			}
+			op.credits[vc]--
+		}
+		op.link.sendPhit(cycle, t.pkt, vc)
+		if op.global {
+			sheet.GlobalLinkPhits++
+		} else {
+			sheet.LocalLinkPhits++
+		}
+	}
+	pkt, tail := buf.takePhit()
+	r.portSent[port] = true
+	r.inputUsed[t.inPort] = true
+	r.phitsMoved++
+	// The phit left the input buffer: return a credit upstream.
+	if up := r.in[t.inPort].link; up != nil {
+		up.sendCredit(cycle, int(t.inVC))
+	}
+	if tail {
+		t.active = false
+		t.pkt = nil
+		if op.link == nil {
+			r.deliver(cycle, pkt, sheet)
+		}
+	}
+	return true
+}
+
+// deliver finalizes a packet at its ejection port.
+func (r *router) deliver(cycle int64, pkt *Packet, sheet *metrics.Sheet) {
+	st := &pkt.St
+	if int(st.DstRouter) != r.id {
+		panic("engine: delivery at wrong router")
+	}
+	sheet.RecordDelivery(int(pkt.Size),
+		cycle-pkt.CreatedAt, cycle-pkt.InjectedAt,
+		int(st.LocalHops), int(st.GlobalHops),
+		int(st.LocalMisCount), int(st.GlobalMisCount), int(st.EscapeHops))
+	r.live--
+	r.lastDeliveryCycle = cycle
+	freePacket(pkt)
+}
+
+// makeClaims routes unclaimed head packets and allocates output VCs.
+func (r *router) makeClaims(cycle int64, sheet *metrics.Sheet) {
+	nIn := len(r.in)
+	for i := 0; i < nIn; i++ {
+		p := (r.rrIn + i) % nIn
+		ip := &r.in[p]
+		for vc := range ip.vcs {
+			buf := &ip.vcs[vc]
+			if buf.empty() || buf.claimed {
+				continue
+			}
+			r.claimHead(cycle, p, vc, sheet)
+		}
+	}
+	r.rrIn++
+}
+
+// claimHead evaluates routing for the head packet of input (port, vc) and,
+// when a decision is claimable, allocates the output VC (and pushes the
+// first phit if the crossbar still has capacity this cycle).
+func (r *router) claimHead(cycle int64, port, vc int, sheet *metrics.Sheet) {
+	buf := &r.in[port].vcs[vc]
+	entry := buf.headEntry()
+	pkt := entry.pkt
+	e := r.eng
+
+	var outPortIdx, outVC int
+	eject := int(pkt.St.DstRouter) == r.id
+	if eject {
+		outPortIdx = e.topo.EjectPortOfNode(int(pkt.St.Dst))
+		outVC = 0
+		if !r.CanClaim(outPortIdx, outVC, int(pkt.Size)) {
+			return
+		}
+	} else {
+		r.curQueueOcc, r.curQueueCap = int(buf.used), int(buf.capacity)
+		r.curHeadFull = entry.arrived == pkt.Size
+		dec := r.alg.Route(r, &pkt.St, r.id, int(pkt.Size), r.routeRand)
+		if dec.Wait {
+			return
+		}
+		outPortIdx, outVC = dec.Port, dec.VC
+		if !r.CanClaim(outPortIdx, outVC, int(pkt.Size)) {
+			panic(fmt.Sprintf("engine: %s routed to unclaimable (%d,%d)",
+				r.alg.Name(), outPortIdx, outVC))
+		}
+		core.CommitHop(e.topo, &pkt.St, r.id, dec)
+	}
+	op := &r.out[outPortIdx]
+	op.transfers[outVC] = transfer{active: true, inPort: int16(port), inVC: int8(vc), pkt: pkt}
+	if op.link != nil && e.cfg.Flow == VCT {
+		// Atomic whole-packet credit reservation: downstream free space
+		// stays a whole number of packet slots, which the bubble flow
+		// control of OFAR's escape ring (and VCT correctness in
+		// general) depends on. Cut-through streaming then never blocks
+		// on credits mid-packet.
+		op.credits[outVC] -= pkt.Size
+		if op.credits[outVC] < 0 {
+			panic("engine: VCT claim without sufficient credits")
+		}
+	}
+	buf.claimed = true
+	if pkt.InjectedAt < 0 {
+		pkt.InjectedAt = cycle
+	}
+	r.trySendPhit(cycle, outPortIdx, outVC, sheet)
+}
+
+// publishPB refreshes the Piggybacking congestion bits for the global
+// channels this router owns, into the group's next-cycle table.
+func (r *router) publishPB() {
+	e := r.eng
+	if !e.pbEnabled {
+		return
+	}
+	topo := e.topo
+	g := topo.GroupOf(r.id)
+	idx := topo.IndexInGroup(r.id)
+	next := e.pbNext[g]
+	for port := topo.GlobalPortBase(); port < topo.EjectPortBase(); port++ {
+		op := &r.out[port]
+		var occ, cap int32
+		for v := range op.credits {
+			occ += op.capacity - op.credits[v]
+			cap += op.capacity
+		}
+		k := topo.GlobalChannelOfPort(idx, port)
+		next[k] = float64(occ) >= e.cfg.Routing.PBThreshold*float64(cap)
+	}
+}

@@ -1,0 +1,203 @@
+// Package metrics collects and aggregates the statistics the paper reports:
+// accepted load in phits/(node·cycle), average packet latency in cycles,
+// plus supporting detail (latency percentiles, hop and misroute counts,
+// link utilization, packet conservation counters).
+//
+// Collection is shard-friendly: the engine keeps one Sheet per worker and
+// merges them at the end of the run, so the hot path never takes a lock.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// latencyBuckets is the number of linear histogram buckets; latencies at or
+// beyond latencyMax fall in the overflow bucket.
+const (
+	latencyBuckets = 2048
+	latencyMax     = 1 << 15
+)
+
+// Sheet accumulates raw counters during a measurement window.
+// The zero value is ready to use.
+type Sheet struct {
+	Generated      int64 // packets created by the traffic process
+	InjectionLost  int64 // generation events dropped: injection queue full
+	Injected       int64 // packets accepted into an injection queue
+	Delivered      int64 // packets fully consumed at their destination
+	PhitsDelivered int64
+
+	// Latency sums, in cycles, over delivered packets.
+	TotalLatencySum   float64 // generation -> delivery
+	NetworkLatencySum float64 // injection -> delivery
+
+	LocalHops  int64 // local-link hops of delivered packets
+	GlobalHops int64 // global-link hops of delivered packets
+	LocalMis   int64 // local misroutes of delivered packets
+	GlobalMis  int64 // global misroutes (Valiant detours) of delivered packets
+	EscapeHops int64 // OFAR escape-ring hops of delivered packets
+
+	// Histogram of total latency (linear buckets of width
+	// latencyMax/latencyBuckets, last bucket is overflow).
+	latHist [latencyBuckets + 1]int64
+
+	// Link utilization: phits carried per link class.
+	LocalLinkPhits  int64
+	GlobalLinkPhits int64
+}
+
+// RecordDelivery accounts one delivered packet.
+func (s *Sheet) RecordDelivery(phits int, totalLat, netLat int64, localHops, globalHops, localMis, globalMis, escapeHops int) {
+	s.Delivered++
+	s.PhitsDelivered += int64(phits)
+	s.TotalLatencySum += float64(totalLat)
+	s.NetworkLatencySum += float64(netLat)
+	s.LocalHops += int64(localHops)
+	s.GlobalHops += int64(globalHops)
+	s.LocalMis += int64(localMis)
+	s.GlobalMis += int64(globalMis)
+	s.EscapeHops += int64(escapeHops)
+	b := int(totalLat) * latencyBuckets / latencyMax
+	if b >= latencyBuckets || b < 0 {
+		b = latencyBuckets
+	}
+	s.latHist[b]++
+}
+
+// Merge adds other into s.
+func (s *Sheet) Merge(other *Sheet) {
+	s.Generated += other.Generated
+	s.InjectionLost += other.InjectionLost
+	s.Injected += other.Injected
+	s.Delivered += other.Delivered
+	s.PhitsDelivered += other.PhitsDelivered
+	s.TotalLatencySum += other.TotalLatencySum
+	s.NetworkLatencySum += other.NetworkLatencySum
+	s.LocalHops += other.LocalHops
+	s.GlobalHops += other.GlobalHops
+	s.LocalMis += other.LocalMis
+	s.GlobalMis += other.GlobalMis
+	s.EscapeHops += other.EscapeHops
+	s.LocalLinkPhits += other.LocalLinkPhits
+	s.GlobalLinkPhits += other.GlobalLinkPhits
+	for i := range s.latHist {
+		s.latHist[i] += other.latHist[i]
+	}
+}
+
+// Reset zeroes all counters (used at the warmup/measurement boundary).
+func (s *Sheet) Reset() { *s = Sheet{} }
+
+// LatencyPercentile returns an approximation (bucket upper bound) of the
+// q-th percentile of total latency, q in [0, 100]. It returns NaN when no
+// packet was delivered.
+func (s *Sheet) LatencyPercentile(q float64) float64 {
+	if s.Delivered == 0 {
+		return math.NaN()
+	}
+	target := int64(math.Ceil(q / 100 * float64(s.Delivered)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.latHist {
+		cum += c
+		if cum >= target {
+			if i == latencyBuckets {
+				return math.Inf(1)
+			}
+			return float64((i + 1) * latencyMax / latencyBuckets)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Result is the digest of one simulation run.
+type Result struct {
+	Mechanism   string  // routing mechanism name
+	Pattern     string  // traffic pattern name
+	OfferedLoad float64 // phits/(node*cycle) requested
+	Cycles      int64   // measured cycles
+	Nodes       int
+
+	AcceptedLoad      float64 // phits/(node*cycle) delivered
+	AvgTotalLatency   float64 // generation -> delivery, cycles
+	AvgNetworkLatency float64 // injection -> delivery, cycles
+	P50Latency        float64
+	P99Latency        float64
+
+	AvgLocalHops       float64
+	AvgGlobalHops      float64
+	LocalMisrouteRate  float64 // local misroutes per delivered packet
+	GlobalMisrouteRate float64 // global misroutes per delivered packet
+	EscapeHopRate      float64 // OFAR escape-ring hops per delivered packet
+
+	Delivered     int64
+	Generated     int64
+	InjectionLost int64
+
+	LocalLinkUtil  float64 // mean phits/cycle per local link
+	GlobalLinkUtil float64 // mean phits/cycle per global link
+
+	// Burst experiments only: cycle at which the last packet drained.
+	ConsumptionCycles int64
+
+	Deadlock bool // the watchdog fired
+}
+
+// Digest converts a Sheet into a Result given the measurement window and
+// network size.
+func Digest(s *Sheet, cycles int64, nodes, localLinks, globalLinks int) Result {
+	r := Result{
+		Cycles:        cycles,
+		Nodes:         nodes,
+		Delivered:     s.Delivered,
+		Generated:     s.Generated,
+		InjectionLost: s.InjectionLost,
+	}
+	if cycles > 0 && nodes > 0 {
+		r.AcceptedLoad = float64(s.PhitsDelivered) / float64(cycles) / float64(nodes)
+	}
+	if s.Delivered > 0 {
+		d := float64(s.Delivered)
+		r.AvgTotalLatency = s.TotalLatencySum / d
+		r.AvgNetworkLatency = s.NetworkLatencySum / d
+		r.AvgLocalHops = float64(s.LocalHops) / d
+		r.AvgGlobalHops = float64(s.GlobalHops) / d
+		r.LocalMisrouteRate = float64(s.LocalMis) / d
+		r.GlobalMisrouteRate = float64(s.GlobalMis) / d
+		r.EscapeHopRate = float64(s.EscapeHops) / d
+		r.P50Latency = s.LatencyPercentile(50)
+		r.P99Latency = s.LatencyPercentile(99)
+	}
+	if cycles > 0 && localLinks > 0 {
+		r.LocalLinkUtil = float64(s.LocalLinkPhits) / float64(cycles) / float64(localLinks)
+	}
+	if cycles > 0 && globalLinks > 0 {
+		r.GlobalLinkUtil = float64(s.GlobalLinkPhits) / float64(cycles) / float64(globalLinks)
+	}
+	return r
+}
+
+// String renders the headline numbers on one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s load=%.3f accepted=%.4f lat=%.1f netlat=%.1f delivered=%d",
+		r.Mechanism, r.Pattern, r.OfferedLoad, r.AcceptedLoad,
+		r.AvgTotalLatency, r.AvgNetworkLatency, r.Delivered)
+}
+
+// Series is a named sequence of results, typically one mechanism swept over
+// a parameter; it renders figure data files.
+type Series struct {
+	Name    string
+	Results []Result
+}
+
+// SortByOffered orders the series by offered load.
+func (s *Series) SortByOffered() {
+	sort.Slice(s.Results, func(i, j int) bool {
+		return s.Results[i].OfferedLoad < s.Results[j].OfferedLoad
+	})
+}

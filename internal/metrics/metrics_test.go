@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecordAndDigest(t *testing.T) {
+	var s Sheet
+	s.Generated = 10
+	s.Injected = 9
+	s.InjectionLost = 1
+	for i := 0; i < 4; i++ {
+		s.RecordDelivery(8, int64(100+i*10), int64(90+i*10), 2, 1, 1, 0, 0)
+	}
+	r := Digest(&s, 100, 8, 0, 0)
+	if r.Delivered != 4 {
+		t.Fatalf("delivered = %d", r.Delivered)
+	}
+	// 4 packets * 8 phits over 100 cycles and 8 nodes.
+	if want := 32.0 / 100 / 8; math.Abs(r.AcceptedLoad-want) > 1e-12 {
+		t.Fatalf("accepted = %v, want %v", r.AcceptedLoad, want)
+	}
+	if want := 115.0; r.AvgTotalLatency != want {
+		t.Fatalf("avg latency = %v, want %v", r.AvgTotalLatency, want)
+	}
+	if want := 105.0; r.AvgNetworkLatency != want {
+		t.Fatalf("avg net latency = %v, want %v", r.AvgNetworkLatency, want)
+	}
+	if r.AvgLocalHops != 2 || r.AvgGlobalHops != 1 {
+		t.Fatalf("hops %v/%v", r.AvgLocalHops, r.AvgGlobalHops)
+	}
+	if r.LocalMisrouteRate != 1 {
+		t.Fatalf("local misroute rate %v", r.LocalMisrouteRate)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Sheet
+	a.RecordDelivery(8, 100, 90, 1, 1, 0, 0, 0)
+	b.RecordDelivery(8, 200, 180, 3, 2, 1, 1, 2)
+	b.Generated = 5
+	a.Merge(&b)
+	if a.Delivered != 2 || a.Generated != 5 {
+		t.Fatalf("merge lost counters: %+v", a)
+	}
+	if a.TotalLatencySum != 300 {
+		t.Fatalf("latency sum %v", a.TotalLatencySum)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Sheet
+	s.RecordDelivery(8, 50, 40, 1, 0, 0, 0, 0)
+	s.Reset()
+	if s.Delivered != 0 || s.TotalLatencySum != 0 {
+		t.Fatalf("reset incomplete: %+v", s)
+	}
+	if got := s.LatencyPercentile(50); !math.IsNaN(got) {
+		t.Fatalf("percentile of empty sheet = %v, want NaN", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sheet
+	// 100 packets with latencies 16, 32, ..., 1600: well within range.
+	for i := 1; i <= 100; i++ {
+		s.RecordDelivery(1, int64(16*i), 0, 0, 0, 0, 0, 0)
+	}
+	p50 := s.LatencyPercentile(50)
+	if p50 < 700 || p50 > 900 {
+		t.Fatalf("p50 = %v, want about 800", p50)
+	}
+	p99 := s.LatencyPercentile(99)
+	if p99 < 1500 || p99 > 1700 {
+		t.Fatalf("p99 = %v, want about 1600", p99)
+	}
+}
+
+func TestPercentileOverflow(t *testing.T) {
+	var s Sheet
+	s.RecordDelivery(1, latencyMax*2, 0, 0, 0, 0, 0, 0)
+	if got := s.LatencyPercentile(50); !math.IsInf(got, 1) {
+		t.Fatalf("overflow percentile = %v, want +Inf", got)
+	}
+}
+
+func TestDigestEmptyWindow(t *testing.T) {
+	var s Sheet
+	r := Digest(&s, 0, 0, 0, 0)
+	if r.AcceptedLoad != 0 || r.AvgTotalLatency != 0 {
+		t.Fatalf("digest of empty sheet: %+v", r)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	var s Sheet
+	s.LocalLinkPhits = 500
+	s.GlobalLinkPhits = 300
+	r := Digest(&s, 100, 1, 10, 3)
+	if r.LocalLinkUtil != 0.5 {
+		t.Fatalf("local util %v", r.LocalLinkUtil)
+	}
+	if r.GlobalLinkUtil != 1.0 {
+		t.Fatalf("global util %v", r.GlobalLinkUtil)
+	}
+}
+
+func TestSeriesSort(t *testing.T) {
+	s := Series{Name: "x", Results: []Result{
+		{OfferedLoad: 0.5}, {OfferedLoad: 0.1}, {OfferedLoad: 0.3},
+	}}
+	s.SortByOffered()
+	for i := 1; i < len(s.Results); i++ {
+		if s.Results[i-1].OfferedLoad > s.Results[i].OfferedLoad {
+			t.Fatalf("series not sorted: %+v", s.Results)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators for the simulator.
+//
+// The engine gives every router (and every traffic source) its own stream
+// derived from the run seed with SplitMix64, so simulations are reproducible
+// and independent of goroutine scheduling: the parallel executor produces
+// results identical to the serial one.
+package rng
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used both as a seeding function and as the stream splitter.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PCG is a PCG32 (XSH-RR) generator: 64-bit state, 32-bit output.
+// The zero value is a valid but fixed stream; use Seed or New.
+type PCG struct {
+	state uint64
+	inc   uint64 // stream selector; always odd
+}
+
+// New returns a generator seeded from seed on stream stream.
+// Distinct streams are statistically independent.
+func New(seed, stream uint64) *PCG {
+	var p PCG
+	p.Seed(seed, stream)
+	return &p
+}
+
+// Seed (re)initializes the generator from seed on the given stream.
+func (p *PCG) Seed(seed, stream uint64) {
+	s := seed
+	p.state = 0
+	p.inc = (splitMix64(&s)+2*stream)<<1 | 1
+	p.Uint32()
+	p.state += splitMix64(&s)
+	p.Uint32()
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (p *PCG) Uint32() uint32 {
+	old := p.state
+	// The increment must be odd for the LCG to reach full period; the
+	// |1 keeps the zero value usable (a fixed but valid stream) instead
+	// of degenerating to a constant.
+	p.state = old*6364136223846793005 + (p.inc | 1)
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (p *PCG) Uint64() uint64 {
+	return uint64(p.Uint32())<<32 | uint64(p.Uint32())
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift rejection method, which is unbiased.
+func (p *PCG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	bound := uint32(n)
+	for {
+		v := p.Uint32()
+		m := uint64(v) * uint64(bound)
+		lo := uint32(m)
+		if lo >= bound {
+			return int(m >> 32)
+		}
+		// Rejection zone: only reached for lo < bound, which happens
+		// with probability < bound/2^32.
+		threshold := -bound % bound
+		if lo >= threshold {
+			return int(m >> 32)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability prob (clamped to [0, 1]).
+func (p *PCG) Bernoulli(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	return p.Float64() < prob
+}
+
+// Split derives a new, statistically independent generator from the
+// current one without disturbing its own sequence more than one step.
+func (p *PCG) Split() *PCG {
+	seed := p.Uint64()
+	return New(seed, seed>>33+1)
+}

@@ -1,0 +1,161 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 7)
+	b := New(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a := New(42, 1)
+	b := New(42, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 1 and 2 coincide on %d/1000 outputs", same)
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1, 0)
+	b := New(2, 0)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 coincide on %d/1000 outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	p := New(7, 3)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := p.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1, 1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	p := New(99, 5)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[p.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(3, 9)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := p.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want about 0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	p := New(5, 5)
+	for i := 0; i < 100; i++ {
+		if p.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !p.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	p := New(11, 2)
+	const prob, draws = 0.3, 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if p.Bernoulli(prob) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-prob) > 0.01 {
+		t.Fatalf("Bernoulli(%.2f) rate %v", prob, got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	p := New(123, 4)
+	q := p.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if p.Uint32() == q.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream coincides on %d/1000 outputs", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var p PCG
+	// The zero value must not hang or panic; statistical quality is not
+	// required of it.
+	_ = p.Uint32()
+	_ = p.Intn(10)
+}
+
+func BenchmarkUint32(b *testing.B) {
+	p := New(1, 1)
+	for i := 0; i < b.N; i++ {
+		_ = p.Uint32()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	p := New(1, 1)
+	for i := 0; i < b.N; i++ {
+		_ = p.Intn(129)
+	}
+}

@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Metric selects which y-value of a Point a rendering uses.
+type Metric int
+
+// Metrics the paper's figures plot.
+const (
+	AcceptedLoad    Metric = iota // phits/(node·cycle)
+	TotalLatency                  // cycles, generation -> delivery
+	NetworkLatency                // cycles, injection -> delivery
+	ConsumptionTime               // kilocycles to drain a burst
+)
+
+// String names the metric as the paper's axis labels do.
+func (m Metric) String() string {
+	switch m {
+	case AcceptedLoad:
+		return "Accepted load (phits/(node*cycle))"
+	case TotalLatency:
+		return "Average latency (cycles)"
+	case NetworkLatency:
+		return "Average network latency (cycles)"
+	case ConsumptionTime:
+		return "Burst consumption time (1000 cycles)"
+	}
+	return "unknown"
+}
+
+// value extracts the metric from one point.
+func (m Metric) value(p Point) float64 {
+	switch m {
+	case AcceptedLoad:
+		return p.Result.AcceptedLoad
+	case TotalLatency:
+		return p.Result.AvgTotalLatency
+	case NetworkLatency:
+		return p.Result.AvgNetworkLatency
+	case ConsumptionTime:
+		return float64(p.Result.ConsumptionCycles) / 1000
+	}
+	return math.NaN()
+}
+
+// WriteDAT renders the series as a gnuplot-style data file: one block of
+// "x y" lines per series, separated by blank lines and labeled with
+// comment headers.
+func WriteDAT(w io.Writer, xLabel string, metric Metric, series []Series) error {
+	if _, err := fmt.Fprintf(w, "# x: %s\n# y: %s\n", xLabel, metric); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "\n# series: %s\n", s.Name); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%g\t%g\n", p.X, metric.value(p)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the series as one markdown table: rows are x
+// values, one column per series.
+func WriteMarkdown(w io.Writer, xLabel string, metric Metric, series []Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("| " + xLabel + " |")
+	for _, s := range series {
+		b.WriteString(" " + s.Name + " |")
+	}
+	b.WriteString("\n|---|")
+	for range series {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "| %g |", series[0].Points[i].X)
+		for _, s := range series {
+			if i < len(s.Points) {
+				v := metric.value(s.Points[i])
+				if s.Points[i].Result.Deadlock {
+					fmt.Fprintf(&b, " %.4g (deadlock!) |", v)
+				} else {
+					fmt.Fprintf(&b, " %.4g |", v)
+				}
+			} else {
+				b.WriteString(" - |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Saturation returns the highest accepted load seen in a series — the
+// paper's "maximum throughput" summary number.
+func Saturation(s Series) float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.Result.AcceptedLoad > best {
+			best = p.Result.AcceptedLoad
+		}
+	}
+	return best
+}

@@ -1,0 +1,205 @@
+// Package sweep drives the paper's experiments: offered-load sweeps
+// (Figures 4, 5, 7, 8 and 10, 11), traffic-mix sweeps (Figures 6a, 9a) and
+// burst-consumption experiments (Figures 6b, 9b). Points of a sweep run
+// concurrently on a bounded worker pool; each point is an independent,
+// deterministic simulation.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	dragonfly "repro"
+)
+
+// Point is one simulated configuration together with its x-axis value.
+type Point struct {
+	X      float64 // offered load, global-traffic percent, or threshold
+	Result dragonfly.Result
+	Err    error
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Options bound the sweep execution.
+type Options struct {
+	// Parallelism is the number of concurrently running simulations
+	// (default: GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, receives a line per finished point.
+	Progress func(series string, p Point)
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// job couples a pending point with its slot in the output.
+type job struct {
+	series string
+	x      float64
+	cfg    dragonfly.Config
+	out    *Point
+}
+
+// runJobs executes all jobs on the pool.
+func runJobs(jobs []job, opt Options) {
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := dragonfly.Run(j.cfg)
+			j.out.X = j.x
+			j.out.Result = res
+			j.out.Err = err
+			if opt.Progress != nil {
+				opt.Progress(j.series, *j.out)
+			}
+		}(&jobs[i])
+	}
+	wg.Wait()
+}
+
+// LoadSweep sweeps offered load for each mechanism over the base
+// configuration (base.Traffic, flow control etc. are kept; Load and
+// Mechanism vary). It returns one series per mechanism, points ordered as
+// in loads.
+func LoadSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, loads []float64, opt Options) ([]Series, error) {
+	if len(mechanisms) == 0 || len(loads) == 0 {
+		return nil, fmt.Errorf("sweep: empty mechanism or load list")
+	}
+	series := make([]Series, len(mechanisms))
+	var jobs []job
+	for mi, m := range mechanisms {
+		series[mi] = Series{Name: m.String(), Points: make([]Point, len(loads))}
+		for li, load := range loads {
+			cfg := base
+			cfg.Mechanism = m
+			cfg.Load = load
+			cfg.BurstPackets = 0
+			jobs = append(jobs, job{
+				series: series[mi].Name, x: load, cfg: cfg,
+				out: &series[mi].Points[li],
+			})
+		}
+	}
+	runJobs(jobs, opt)
+	return series, firstErr(series)
+}
+
+// MixSweep sweeps the ADVG+h / ADVL+1 traffic mix at fixed offered load
+// (the paper uses 1.0) for each mechanism (Figures 6a, 9a).
+func MixSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, percents []float64, load float64, opt Options) ([]Series, error) {
+	if len(mechanisms) == 0 || len(percents) == 0 {
+		return nil, fmt.Errorf("sweep: empty mechanism or percent list")
+	}
+	series := make([]Series, len(mechanisms))
+	var jobs []job
+	for mi, m := range mechanisms {
+		series[mi] = Series{Name: m.String(), Points: make([]Point, len(percents))}
+		for pi, pct := range percents {
+			cfg := base
+			cfg.Mechanism = m
+			cfg.Load = load
+			cfg.BurstPackets = 0
+			cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: pct}
+			jobs = append(jobs, job{
+				series: series[mi].Name, x: pct, cfg: cfg,
+				out: &series[mi].Points[pi],
+			})
+		}
+	}
+	runJobs(jobs, opt)
+	return series, firstErr(series)
+}
+
+// BurstSweep runs the burst-consumption experiment over the traffic mix:
+// every node sends packetsPerNode packets and the consumption time is
+// reported (Figures 6b, 9b).
+func BurstSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, percents []float64, packetsPerNode int, opt Options) ([]Series, error) {
+	if packetsPerNode <= 0 {
+		return nil, fmt.Errorf("sweep: burst needs packetsPerNode > 0")
+	}
+	series := make([]Series, len(mechanisms))
+	var jobs []job
+	for mi, m := range mechanisms {
+		series[mi] = Series{Name: m.String(), Points: make([]Point, len(percents))}
+		for pi, pct := range percents {
+			cfg := base
+			cfg.Mechanism = m
+			cfg.BurstPackets = packetsPerNode
+			cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: pct}
+			jobs = append(jobs, job{
+				series: series[mi].Name, x: pct, cfg: cfg,
+				out: &series[mi].Points[pi],
+			})
+		}
+	}
+	runJobs(jobs, opt)
+	return series, firstErr(series)
+}
+
+// ThresholdSweep sweeps the misrouting threshold for one mechanism over
+// offered load (Figures 10, 11). Thresholds are fractions (0.45 = 45%).
+func ThresholdSweep(base dragonfly.Config, mechanism dragonfly.Mechanism, thresholds, loads []float64, opt Options) ([]Series, error) {
+	if len(thresholds) == 0 || len(loads) == 0 {
+		return nil, fmt.Errorf("sweep: empty threshold or load list")
+	}
+	series := make([]Series, len(thresholds))
+	var jobs []job
+	for ti, th := range thresholds {
+		series[ti] = Series{
+			Name:   fmt.Sprintf("%s th=%.0f%%", mechanism, th*100),
+			Points: make([]Point, len(loads)),
+		}
+		for li, load := range loads {
+			cfg := base
+			cfg.Mechanism = mechanism
+			cfg.Threshold = th
+			cfg.Load = load
+			cfg.BurstPackets = 0
+			jobs = append(jobs, job{
+				series: series[ti].Name, x: load, cfg: cfg,
+				out: &series[ti].Points[li],
+			})
+		}
+	}
+	runJobs(jobs, opt)
+	return series, firstErr(series)
+}
+
+func firstErr(series []Series) error {
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Err != nil {
+				return fmt.Errorf("sweep: %s x=%v: %w", s.Name, p.X, p.Err)
+			}
+		}
+	}
+	return nil
+}
+
+// Loads returns an evenly spaced load grid [from, to] with n points,
+// a convenience for figure scripts.
+func Loads(from, to float64, n int) []float64 {
+	if n < 2 {
+		return []float64{from}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = from + (to-from)*float64(i)/float64(n-1)
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadH(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+	if _, err := New(-3); err == nil {
+		t.Fatal("New(-3) succeeded")
+	}
+}
+
+func TestPaperScale(t *testing.T) {
+	p := MustNew(8)
+	if p.Routers != 2064 {
+		t.Errorf("routers = %d, want 2064", p.Routers)
+	}
+	if p.Groups != 129 {
+		t.Errorf("groups = %d, want 129", p.Groups)
+	}
+	if p.Nodes != 16512 {
+		t.Errorf("nodes = %d, want 16512", p.Nodes)
+	}
+	if p.Ports != 31 {
+		t.Errorf("ports = %d, want 31", p.Ports)
+	}
+	if p.RoutersPerGroup != 16 {
+		t.Errorf("routers/group = %d, want 16", p.RoutersPerGroup)
+	}
+}
+
+func TestPortClasses(t *testing.T) {
+	for _, h := range []int{1, 2, 3, 4, 8} {
+		p := MustNew(h)
+		nLocal, nGlobal, nEject := 0, 0, 0
+		for port := 0; port < p.Ports; port++ {
+			switch {
+			case p.IsLocalPort(port):
+				nLocal++
+			case p.IsGlobalPort(port):
+				nGlobal++
+			case p.IsEjectPort(port):
+				nEject++
+			default:
+				t.Fatalf("h=%d: port %d in no class", h, port)
+			}
+		}
+		if nLocal != p.LocalPorts || nGlobal != p.GlobalPorts || nEject != p.H {
+			t.Fatalf("h=%d: classes %d/%d/%d, want %d/%d/%d",
+				h, nLocal, nGlobal, nEject, p.LocalPorts, p.GlobalPorts, p.H)
+		}
+	}
+}
+
+func TestLocalPortRoundTrip(t *testing.T) {
+	p := MustNew(4)
+	for from := 0; from < p.RoutersPerGroup; from++ {
+		seen := make(map[int]bool)
+		for to := 0; to < p.RoutersPerGroup; to++ {
+			if to == from {
+				continue
+			}
+			port := p.LocalPort(from, to)
+			if !p.IsLocalPort(port) {
+				t.Fatalf("LocalPort(%d,%d)=%d not local", from, to, port)
+			}
+			if seen[port] {
+				t.Fatalf("port %d reused by router %d", port, from)
+			}
+			seen[port] = true
+			if got := p.LocalPortTarget(from, port); got != to {
+				t.Fatalf("LocalPortTarget(%d,%d)=%d, want %d", from, port, got, to)
+			}
+		}
+		if len(seen) != p.LocalPorts {
+			t.Fatalf("router %d uses %d local ports, want %d", from, len(seen), p.LocalPorts)
+		}
+	}
+}
+
+func TestGlobalChannelPairingInvolution(t *testing.T) {
+	for _, h := range []int{2, 3, 4, 8} {
+		p := MustNew(h)
+		for k := 0; k < p.ChannelsPerGrp; k++ {
+			kp := p.PairedChannel(k)
+			if kp < 0 || kp >= p.ChannelsPerGrp {
+				t.Fatalf("h=%d: paired channel %d of %d out of range", h, kp, k)
+			}
+			if p.PairedChannel(kp) != k {
+				t.Fatalf("h=%d: pairing not an involution at k=%d", h, k)
+			}
+		}
+	}
+}
+
+func TestGlobalLinkSymmetry(t *testing.T) {
+	for _, h := range []int{2, 3, 4} {
+		p := MustNew(h)
+		for r := 0; r < p.Routers; r++ {
+			for port := p.GlobalPortBase(); port < p.EjectPortBase(); port++ {
+				rr, rp := p.GlobalLink(r, port)
+				if p.GroupOf(rr) == p.GroupOf(r) {
+					t.Fatalf("h=%d: global link from %d stays in group", h, r)
+				}
+				back, backPort := p.GlobalLink(rr, rp)
+				if back != r || backPort != port {
+					t.Fatalf("h=%d: link (%d,%d)->(%d,%d) returns to (%d,%d)",
+						h, r, port, rr, rp, back, backPort)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalLinkSymmetry(t *testing.T) {
+	p := MustNew(3)
+	for r := 0; r < p.Routers; r++ {
+		for port := 0; port < p.GlobalPortBase(); port++ {
+			rr, rp := p.LocalLink(r, port)
+			if p.GroupOf(rr) != p.GroupOf(r) {
+				t.Fatalf("local link from %d leaves group", r)
+			}
+			back, backPort := p.LocalLink(rr, rp)
+			if back != r || backPort != port {
+				t.Fatalf("link (%d,%d)->(%d,%d) returns to (%d,%d)",
+					r, port, rr, rp, back, backPort)
+			}
+		}
+	}
+}
+
+// TestEveryGroupPairHasOneChannel checks the complete-graph global layout.
+func TestEveryGroupPairHasOneChannel(t *testing.T) {
+	for _, h := range []int{2, 3, 4} {
+		p := MustNew(h)
+		for g := 0; g < p.Groups; g++ {
+			reached := make(map[int]int)
+			for k := 0; k < p.ChannelsPerGrp; k++ {
+				reached[p.TargetGroup(g, k)]++
+			}
+			if len(reached) != p.Groups-1 {
+				t.Fatalf("h=%d: group %d reaches %d groups, want %d",
+					h, g, len(reached), p.Groups-1)
+			}
+			for tg, cnt := range reached {
+				if cnt != 1 {
+					t.Fatalf("h=%d: group %d reaches %d via %d channels", h, g, tg, cnt)
+				}
+				if p.ChannelToGroup(g, tg) < 0 {
+					t.Fatalf("negative channel")
+				}
+			}
+		}
+	}
+}
+
+func TestChannelToGroupInverse(t *testing.T) {
+	p := MustNew(4)
+	f := func(g, tg uint16) bool {
+		a, b := int(g)%p.Groups, int(tg)%p.Groups
+		if a == b {
+			return true
+		}
+		return p.TargetGroup(a, p.ChannelToGroup(a, b)) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeMapping(t *testing.T) {
+	p := MustNew(3)
+	for n := 0; n < p.Nodes; n++ {
+		r := p.RouterOfNode(n)
+		if r < 0 || r >= p.Routers {
+			t.Fatalf("node %d maps to router %d", n, r)
+		}
+		if p.NodeID(r, p.NodeIndex(n)) != n {
+			t.Fatalf("node mapping not invertible at %d", n)
+		}
+		ep := p.EjectPortOfNode(n)
+		if !p.IsEjectPort(ep) {
+			t.Fatalf("eject port %d of node %d not in eject class", ep, n)
+		}
+	}
+}
+
+func TestMinimalHops(t *testing.T) {
+	p := MustNew(2)
+	for a := 0; a < p.Routers; a++ {
+		for b := 0; b < p.Routers; b++ {
+			hops := p.MinimalHops(a, b)
+			switch {
+			case a == b && hops != 0:
+				t.Fatalf("MinimalHops(%d,%d)=%d, want 0", a, b, hops)
+			case a != b && p.GroupOf(a) == p.GroupOf(b) && hops != 1:
+				t.Fatalf("MinimalHops(%d,%d)=%d, want 1", a, b, hops)
+			case p.GroupOf(a) != p.GroupOf(b) && (hops < 1 || hops > 3):
+				t.Fatalf("MinimalHops(%d,%d)=%d, want 1..3", a, b, hops)
+			}
+		}
+	}
+}
+
+// TestADVGPlusHPathology verifies the property that makes ADVG+h traffic
+// pathological with the consecutive channel assignment (paper Section II,
+// citing García et al. ICPP 2012): for every source group g and every
+// intermediate group m, the router a receiving traffic from g and the
+// router b owning the channel toward g+h are adjacent ring routers
+// (b == a+1 mod 2h), so all Valiant transit load in m concentrates on ring
+// local links.
+func TestADVGPlusHPathology(t *testing.T) {
+	p := MustNew(8)
+	h := p.H
+	for g := 0; g < p.Groups; g++ {
+		d := (g + h) % p.Groups
+		for m := 0; m < p.Groups; m++ {
+			if m == g || m == d {
+				continue
+			}
+			// Arrival router in m for traffic from g.
+			kIn := p.ChannelToGroup(g, m)
+			aIdx, _ := p.GlobalPortOfChannel(p.PairedChannel(kIn))
+			// Departure router in m toward d.
+			kOut := p.ChannelToGroup(m, d)
+			bIdx, _ := p.GlobalPortOfChannel(kOut)
+			if aIdx == bIdx {
+				continue // no local transit hop at all
+			}
+			if (aIdx+1)%p.RoutersPerGroup != bIdx {
+				t.Fatalf("g=%d m=%d: arrival %d departure %d not ring-adjacent",
+					g, m, aIdx, bIdx)
+			}
+		}
+	}
+}
+
+func TestMinimalLocalTarget(t *testing.T) {
+	p := MustNew(3)
+	for r := 0; r < p.Routers; r++ {
+		g := p.GroupOf(r)
+		for tg := 0; tg < p.Groups; tg++ {
+			if tg == g {
+				continue
+			}
+			idx := p.MinimalLocalTarget(r, tg)
+			// The router at idx must own a channel to tg.
+			k := p.ChannelToGroup(g, tg)
+			ownIdx, port := p.GlobalPortOfChannel(k)
+			if idx != ownIdx {
+				t.Fatalf("MinimalLocalTarget(%d,%d)=%d, want %d", r, tg, idx, ownIdx)
+			}
+			rr, _ := p.GlobalLink(p.RouterID(g, idx), port)
+			if p.GroupOf(rr) != tg {
+				t.Fatalf("channel of %d does not reach group %d", idx, tg)
+			}
+		}
+	}
+}
+
+func TestLinkTargetPanicsOnEject(t *testing.T) {
+	p := MustNew(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LinkTarget on eject port did not panic")
+		}
+	}()
+	p.LinkTarget(0, p.EjectPortBase())
+}

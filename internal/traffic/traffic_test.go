@@ -1,0 +1,205 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func topo(t *testing.T, h int) *topology.P {
+	t.Helper()
+	p, err := topology.New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUniformExcludesSelfAndCovers(t *testing.T) {
+	p := topo(t, 2)
+	u := NewUniform(p)
+	r := rng.New(1, 1)
+	const src = 5
+	seen := make(map[int]bool)
+	for i := 0; i < 20000; i++ {
+		d := u.Dest(src, r)
+		if d == src {
+			t.Fatal("uniform chose the source node")
+		}
+		if d < 0 || d >= p.Nodes {
+			t.Fatalf("destination %d out of range", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != p.Nodes-1 {
+		t.Fatalf("uniform reached %d destinations, want %d", len(seen), p.Nodes-1)
+	}
+}
+
+func TestUniformIsUniform(t *testing.T) {
+	p := topo(t, 2)
+	u := NewUniform(p)
+	r := rng.New(3, 3)
+	counts := make([]int, p.Nodes)
+	const draws = 71 * 4000
+	for i := 0; i < draws; i++ {
+		counts[u.Dest(0, r)]++
+	}
+	want := float64(draws) / float64(p.Nodes-1)
+	for n := 1; n < p.Nodes; n++ {
+		if math.Abs(float64(counts[n])-want) > 6*math.Sqrt(want) {
+			t.Errorf("node %d drawn %d times, want about %.0f", n, counts[n], want)
+		}
+	}
+}
+
+func TestAdversarialGlobalTargetsGroup(t *testing.T) {
+	p := topo(t, 3)
+	for _, off := range []int{1, 3, p.Groups - 1} {
+		a, err := NewAdversarialGlobal(p, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(9, 1)
+		for src := 0; src < p.Nodes; src += 7 {
+			d := a.Dest(src, r)
+			gs := p.GroupOf(p.RouterOfNode(src))
+			gd := p.GroupOf(p.RouterOfNode(d))
+			if gd != (gs+off)%p.Groups {
+				t.Fatalf("ADVG+%d: src group %d dest group %d", off, gs, gd)
+			}
+		}
+	}
+}
+
+func TestAdversarialGlobalRejectsBadOffset(t *testing.T) {
+	p := topo(t, 2)
+	for _, off := range []int{0, -1, p.Groups} {
+		if _, err := NewAdversarialGlobal(p, off); err == nil {
+			t.Errorf("ADVG offset %d accepted", off)
+		}
+	}
+}
+
+func TestAdversarialLocalTargetsRouter(t *testing.T) {
+	p := topo(t, 3)
+	a, err := NewAdversarialLocal(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4, 2)
+	for src := 0; src < p.Nodes; src++ {
+		d := a.Dest(src, r)
+		rs, rd := p.RouterOfNode(src), p.RouterOfNode(d)
+		if p.GroupOf(rs) != p.GroupOf(rd) {
+			t.Fatalf("ADVL left the group: src %d dst %d", src, d)
+		}
+		if p.IndexInGroup(rd) != (p.IndexInGroup(rs)+1)%p.RoutersPerGroup {
+			t.Fatalf("ADVL+1 wrong router: src idx %d dst idx %d",
+				p.IndexInGroup(rs), p.IndexInGroup(rd))
+		}
+	}
+}
+
+func TestAdversarialLocalRejectsBadOffset(t *testing.T) {
+	p := topo(t, 2)
+	for _, off := range []int{0, p.RoutersPerGroup} {
+		if _, err := NewAdversarialLocal(p, off); err == nil {
+			t.Errorf("ADVL offset %d accepted", off)
+		}
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	p := topo(t, 3)
+	g, _ := NewAdversarialGlobal(p, p.H)
+	l, _ := NewAdversarialLocal(p, 1)
+	for _, frac := range []float64{0, 0.3, 1} {
+		m, err := NewMix(g, l, frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(8, 8)
+		const draws = 20000
+		global := 0
+		for i := 0; i < draws; i++ {
+			src := r.Intn(p.Nodes)
+			d := m.Dest(src, r)
+			if p.GroupOf(p.RouterOfNode(d)) != p.GroupOf(p.RouterOfNode(src)) {
+				global++
+			}
+		}
+		got := float64(global) / draws
+		if math.Abs(got-frac) > 0.02 {
+			t.Errorf("mix frac %.2f measured %.3f", frac, got)
+		}
+	}
+}
+
+func TestMixRejectsBadFraction(t *testing.T) {
+	p := topo(t, 2)
+	g, _ := NewAdversarialGlobal(p, 1)
+	l, _ := NewAdversarialLocal(p, 1)
+	if _, err := NewMix(g, l, 1.5); err == nil {
+		t.Fatal("mix fraction 1.5 accepted")
+	}
+}
+
+func TestBernoulliRateMatchesLoad(t *testing.T) {
+	b, err := NewBernoulli(0.4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2, 2)
+	const cycles = 200000
+	gen := 0
+	for c := int64(0); c < cycles; c++ {
+		if b.Generate(0, c, r) {
+			gen += 8
+		}
+	}
+	got := float64(gen) / cycles
+	if math.Abs(got-0.4) > 0.01 {
+		t.Fatalf("offered load %v, want 0.4", got)
+	}
+	if b.Finite() {
+		t.Fatal("Bernoulli claims to be finite")
+	}
+}
+
+func TestBernoulliRejectsBadParams(t *testing.T) {
+	if _, err := NewBernoulli(-0.1, 8); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := NewBernoulli(0.5, 0); err == nil {
+		t.Fatal("zero packet size accepted")
+	}
+}
+
+func TestBurstCountsDown(t *testing.T) {
+	b, err := NewBurst(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Finite() {
+		t.Fatal("burst not finite")
+	}
+	r := rng.New(1, 1)
+	for i := 0; i < 3; i++ {
+		if !b.Generate(0, 0, r) {
+			t.Fatalf("burst refused packet %d", i)
+		}
+		b.Consume(0)
+	}
+	if b.Generate(0, 0, r) {
+		t.Fatal("burst generated a 4th packet")
+	}
+	if !b.Done(0) {
+		t.Fatal("node 0 not done")
+	}
+	if b.Done(1) {
+		t.Fatal("node 1 done without sending")
+	}
+}

@@ -1,0 +1,42 @@
+package dragonfly
+
+import "repro/internal/core"
+
+// ParityRow is one row of the paper's Table I: whether a 2-hop local route
+// whose hops have the given link types is permitted by the parity-sign
+// restriction of RLM.
+type ParityRow struct {
+	First   string // link type of the first hop: "odd-", "even+", "odd+", "even-"
+	Second  string // link type of the second hop
+	Allowed bool
+}
+
+// ParityTableRows regenerates Table I of the paper: the 16 possible 2-hop
+// combinations in the paper's row order with their verdicts.
+func ParityTableRows() []ParityRow {
+	tab := core.NewParityTable()
+	order := []core.LinkType{core.OddNeg, core.EvenPos, core.OddPos, core.EvenNeg}
+	rows := make([]ParityRow, 0, 16)
+	for _, first := range order {
+		for _, second := range order {
+			rows = append(rows, ParityRow{
+				First:   first.String(),
+				Second:  second.String(),
+				Allowed: tab.Allowed(first, second),
+			})
+		}
+	}
+	return rows
+}
+
+// LocalHopType classifies a directed local hop between router indices i
+// and j of one group by the parity-sign scheme ("odd-", "even+", ...).
+func LocalHopType(i, j int) string { return core.ClassifyHop(i, j).String() }
+
+// RestrictedIntermediates returns the intermediate routers k through which
+// a 2-hop local route i -> k -> j is permitted by RLM's parity-sign rule
+// in a group of 2h routers. The paper guarantees at least h-1 of them for
+// every pair.
+func RestrictedIntermediates(i, j, h int) []int {
+	return core.NewParityTable().Intermediates(nil, i, j, 2*h)
+}

@@ -1,0 +1,55 @@
+package dragonfly
+
+// Presets reproducing the paper's two experimental environments.
+//
+// The paper's simulator models a maximum-size dragonfly with h = 8
+// (129 supernodes of 16 routers, 16,512 nodes), 10/100-cycle local/global
+// link latencies and 32/256-phit local/global buffers. PaperVCT is the
+// Cray-Cascade-like small-packet VCT setting of Section IV-A; PaperWH is
+// the PERCS-like large-packet wormhole setting of Section IV-B.
+
+// PaperH is the paper's network size parameter.
+const PaperH = 8
+
+// PaperThreshold is the misrouting threshold the paper selects (45%).
+const PaperThreshold = 0.45
+
+// PaperVCT returns the Section IV-A environment (VCT, 8-phit packets) at
+// size h. Pass PaperH for the paper's full 16,512-node system or a smaller
+// h (e.g. 4) for a reduced-scale run with the same structure.
+func PaperVCT(h int) Config {
+	return Config{
+		H:           h,
+		FlowControl: VCT,
+		PacketPhits: 8,
+		Threshold:   PaperThreshold,
+		BufLocal:    32,
+		BufGlobal:   256,
+		LatLocal:    10,
+		LatGlobal:   100,
+	}
+}
+
+// PaperWH returns the Section IV-B environment (wormhole, 80-phit packets
+// — the paper's 8 flits of 10 phits) at size h.
+func PaperWH(h int) Config {
+	return Config{
+		H:           h,
+		FlowControl: WH,
+		PacketPhits: 80,
+		Threshold:   PaperThreshold,
+		BufLocal:    32,
+		BufGlobal:   256,
+		LatLocal:    10,
+		LatGlobal:   100,
+	}
+}
+
+// PaperBurstVCT is the number of packets per node in the VCT burst
+// experiment (Figure 6b).
+const PaperBurstVCT = 1000
+
+// PaperBurstWH is the number of packets per node in the WH burst
+// experiment (Figure 9b); 89 × 80-phit packets carry roughly the same
+// payload as 1000 × 8-phit packets.
+const PaperBurstWH = 89
