@@ -1,0 +1,206 @@
+// Command dfbench runs a fixed matrix of simulation scenarios and reports
+// engine throughput — simulated cycles per wall-clock second and crossbar
+// phits per second — for each point, as JSON. The matrix is held constant
+// across PRs (h ∈ {2,3}, VCT and WH, five mechanisms, uniform and
+// adversarial traffic, low and saturation load, serial and 4-worker
+// execution) so successive BENCH_<n>.json files track the engine's
+// performance trajectory over time.
+//
+// Usage:
+//
+//	go run ./cmd/dfbench -o BENCH_1.json
+//	go run ./cmd/dfbench -quick          # h=2 subset, for smoke tests
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	dragonfly "repro"
+)
+
+// Point is one benchmark measurement.
+type Point struct {
+	H         int     `json:"h"`
+	Flow      string  `json:"flow"`
+	Mechanism string  `json:"mechanism"`
+	Pattern   string  `json:"pattern"`
+	Load      float64 `json:"load"`
+	Workers   int     `json:"workers"`
+
+	Cycles       int64   `json:"cycles"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	CyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	PhitsMoved   int64   `json:"phits_moved"`
+	PhitsPerSec  float64 `json:"phits_per_sec"`
+
+	AcceptedLoad float64 `json:"accepted_load"`
+	Deadlock     bool    `json:"deadlock"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Warmup     int64   `json:"warmup_cycles"`
+	Measure    int64   `json:"measure_cycles"`
+	Points     []Point `json:"points"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output JSON path (- for stdout)")
+	warmup := flag.Int64("warmup", 500, "warmup cycles per point")
+	measure := flag.Int64("measure", 1500, "measured cycles per point")
+	reps := flag.Int("reps", 3, "repetitions per point; the fastest is reported")
+	quick := flag.Bool("quick", false, "h=2 serial subset only (CI smoke)")
+	verbose := flag.Bool("v", false, "print each point as it completes")
+	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
+
+	hs := []int{2, 3}
+	workerSet := []int{1, 4}
+	if *quick {
+		hs = []int{2}
+		workerSet = []int{1}
+	}
+	flows := []dragonfly.FlowControl{dragonfly.VCT, dragonfly.WH}
+	mechs := []dragonfly.Mechanism{
+		dragonfly.Minimal, dragonfly.Valiant, dragonfly.PAR62,
+		dragonfly.Piggybacking, dragonfly.OFAR,
+	}
+	type patternPoint struct {
+		tr   dragonfly.Traffic
+		load float64
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Warmup:     *warmup,
+		Measure:    *measure,
+	}
+	for _, h := range hs {
+		patterns := []patternPoint{
+			{dragonfly.Traffic{Kind: dragonfly.UN}, 0.05},
+			{dragonfly.Traffic{Kind: dragonfly.UN}, 1.0},
+			{dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, 0.05},
+			{dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, 1.0},
+		}
+		for _, flow := range flows {
+			for _, m := range mechs {
+				if m.RequiresVCT() && flow == dragonfly.WH {
+					continue
+				}
+				for _, pp := range patterns {
+					for _, w := range workerSet {
+						pt, err := bestOf(*reps, h, flow, m, pp.tr, pp.load, w, *warmup, *measure)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
+							os.Exit(1)
+						}
+						if *verbose {
+							fmt.Fprintf(os.Stderr, "h=%d %s %-5s %-7s load=%.2f w=%d: %.0f cycles/s, %.0f phits/s\n",
+								pt.H, pt.Flow, pt.Mechanism, pt.Pattern, pt.Load, pt.Workers,
+								pt.CyclesPerSec, pt.PhitsPerSec)
+						}
+						rep.Points = append(rep.Points, pt)
+					}
+				}
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dfbench: wrote %d points to %s\n", len(rep.Points), *out)
+}
+
+// bestOf runs a point reps times and keeps the fastest wall time: the
+// simulation itself is deterministic, so repetitions only sample scheduler
+// and cache noise and the minimum is the cleanest estimate.
+func bestOf(reps, h int, flow dragonfly.FlowControl, m dragonfly.Mechanism, tr dragonfly.Traffic, load float64, workers int, warmup, measure int64) (Point, error) {
+	var best Point
+	for i := 0; i < reps; i++ {
+		pt, err := runPoint(h, flow, m, tr, load, workers, warmup, measure)
+		if err != nil {
+			return Point{}, err
+		}
+		if i == 0 || pt.WallSeconds < best.WallSeconds {
+			best = pt
+		}
+	}
+	return best, nil
+}
+
+func runPoint(h int, flow dragonfly.FlowControl, m dragonfly.Mechanism, tr dragonfly.Traffic, load float64, workers int, warmup, measure int64) (Point, error) {
+	cfg := dragonfly.Config{
+		H:           h,
+		Mechanism:   m,
+		FlowControl: flow,
+		Traffic:     tr,
+		Load:        load,
+		Warmup:      warmup,
+		Measure:     measure,
+		Seed:        1,
+		Workers:     workers,
+		// Reduced link latencies keep point runtimes manageable while
+		// preserving the engine's work profile.
+		LatLocal:  4,
+		LatGlobal: 16,
+	}
+	if flow == dragonfly.WH {
+		cfg.PacketPhits = 40 // fits the default 256-phit global buffers
+	}
+	// Build outside the timer: the wall clock covers only simulation
+	// stepping, so the reported throughput measures the engine, not the
+	// allocator.
+	sim, err := dragonfly.Prepare(cfg)
+	if err != nil {
+		return Point{}, fmt.Errorf("h=%d %s %s: %w", h, flow, m, err)
+	}
+	start := time.Now()
+	res, err := sim.Run()
+	if err != nil {
+		return Point{}, fmt.Errorf("h=%d %s %s: %w", h, flow, m, err)
+	}
+	wall := time.Since(start).Seconds()
+	// The cycles actually simulated: equals warmup+measure unless a
+	// watchdog ended the run early, in which case the throughput must be
+	// computed over the truncated run.
+	cycles := sim.Cycles()
+	return Point{
+		H:         h,
+		Flow:      flow.String(),
+		Mechanism: res.Mechanism,
+		Pattern:   res.Pattern,
+		Load:      load,
+		Workers:   workers,
+
+		Cycles:       cycles,
+		WallSeconds:  wall,
+		CyclesPerSec: float64(cycles) / wall,
+		PhitsMoved:   res.PhitsMoved,
+		PhitsPerSec:  float64(res.PhitsMoved) / wall,
+
+		AcceptedLoad: res.AcceptedLoad,
+		Deadlock:     res.Deadlock,
+	}, nil
+}

@@ -220,6 +220,10 @@ type Result struct {
 	Cycles        int64
 	Nodes         int
 
+	// PhitsMoved is the total number of crossbar phit movements over the
+	// whole run (warmup included) — the engine's raw unit of work.
+	PhitsMoved int64
+
 	LocalLinkUtil  float64
 	GlobalLinkUtil float64
 
@@ -320,23 +324,53 @@ func (c Config) buildPattern(p *topology.P) (traffic.Pattern, error) {
 	return nil, fmt.Errorf("dragonfly: unknown traffic kind %d", c.Traffic.Kind)
 }
 
+// Sim is a prepared simulation: topology built, buffers and link rings
+// allocated, ready to run exactly once. Prepare/Run separate construction
+// cost from stepping cost so tools (cmd/dfbench in particular) can time
+// the engine without the allocator.
+type Sim struct {
+	sim *engine.Sim
+	cfg Config
+}
+
+// Prepare validates the configuration and builds the network without
+// running it.
+func Prepare(c Config) (*Sim, error) {
+	ec, _, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	es, err := engine.New(ec)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{sim: es, cfg: c.normalize()}, nil
+}
+
+// Run executes the prepared simulation; like the package-level Run it can
+// be called once per Sim.
+func (s *Sim) Run() (Result, error) {
+	m, err := s.sim.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return fromMetrics(m, s.cfg), nil
+}
+
+// Cycles returns the number of cycles actually simulated so far — after
+// Run, the true run length even when a watchdog or burst drain ended the
+// run away from the nominal warmup+measure window.
+func (s *Sim) Cycles() int64 { return s.sim.Cycle() }
+
 // Run executes one experiment and returns its metrics. Deadlocks detected
 // by the watchdog are reported via Result.Deadlock rather than an error so
 // sweeps can record them.
 func Run(c Config) (Result, error) {
-	ec, _, err := c.build()
+	s, err := Prepare(c)
 	if err != nil {
 		return Result{}, err
 	}
-	sim, err := engine.New(ec)
-	if err != nil {
-		return Result{}, err
-	}
-	m, err := sim.Run()
-	if err != nil {
-		return Result{}, err
-	}
-	return fromMetrics(m, c.normalize()), nil
+	return s.Run()
 }
 
 // NetworkSize returns (routers, nodes, groups) for a given h, for sizing
@@ -368,6 +402,7 @@ func fromMetrics(m metrics.Result, c Config) Result {
 		Delivered:          m.Delivered,
 		Generated:          m.Generated,
 		InjectionLost:      m.InjectionLost,
+		PhitsMoved:         m.PhitsMoved,
 		Cycles:             m.Cycles,
 		Nodes:              m.Nodes,
 		LocalLinkUtil:      m.LocalLinkUtil,

@@ -52,27 +52,39 @@ func (b *vcBuffer) tailEntry() *fifoEntry {
 	if b.count == 0 {
 		return nil
 	}
-	return &b.entries[(b.head+b.count-1)%len(b.entries)]
+	return &b.entries[b.wrap(b.head+b.count-1)]
+}
+
+// wrap reduces a ring index in [0, 2*len) into [0, len); cheaper than a
+// modulo on this hot path.
+func (b *vcBuffer) wrap(i int) int {
+	if i >= len(b.entries) {
+		i -= len(b.entries)
+	}
+	return i
 }
 
 // pushPhit accounts the arrival of one phit of pkt, opening a new entry
 // when pkt is not the packet currently streaming in. The tail entry only
 // absorbs the phit while it is still filling: a packet that revisits the
 // same buffer later (possible on OFAR's escape ring) must open a fresh
-// entry or the accounting of the two visits would merge.
-func (b *vcBuffer) pushPhit(pkt *Packet) {
+// entry or the accounting of the two visits would merge. It reports
+// whether a new entry was opened, so the router can maintain its
+// buffered-entry activity count.
+func (b *vcBuffer) pushPhit(pkt *Packet) (newEntry bool) {
 	if t := b.tailEntry(); t != nil && t.pkt == pkt && t.arrived < pkt.Size {
 		t.arrived++
 		b.used++
-		return
+		return false
 	}
 	if b.count == len(b.entries) {
 		panic(fmt.Sprintf("engine: vcBuffer ring overflow (cap %d phits, %d entries)",
 			b.capacity, b.count))
 	}
-	b.entries[(b.head+b.count)%len(b.entries)] = fifoEntry{pkt: pkt, arrived: 1}
+	b.entries[b.wrap(b.head+b.count)] = fifoEntry{pkt: pkt, arrived: 1}
 	b.count++
 	b.used++
+	return true
 }
 
 // pushWholePacket enqueues a fully present packet (used by injection
@@ -81,7 +93,7 @@ func (b *vcBuffer) pushWholePacket(pkt *Packet) {
 	if b.count == len(b.entries) || b.used+pkt.Size > b.capacity {
 		panic("engine: pushWholePacket without space")
 	}
-	b.entries[(b.head+b.count)%len(b.entries)] = fifoEntry{pkt: pkt, arrived: pkt.Size}
+	b.entries[b.wrap(b.head+b.count)] = fifoEntry{pkt: pkt, arrived: pkt.Size}
 	b.count++
 	b.used += pkt.Size
 }
@@ -104,7 +116,7 @@ func (b *vcBuffer) takePhit() (pkt *Packet, tail bool) {
 	pkt = e.pkt
 	if e.sent == pkt.Size {
 		b.entries[b.head] = fifoEntry{}
-		b.head = (b.head + 1) % len(b.entries)
+		b.head = b.wrap(b.head + 1)
 		b.count--
 		b.claimed = false
 		return pkt, true

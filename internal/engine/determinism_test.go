@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// TestDeterminismAcrossWorkerCounts is the guardrail for the package's
+// central promise ("results identical to serial execution") and for the
+// activity-driven stepping: the full metrics.Result — every counter,
+// latency average and percentile — must be bit-identical between serial
+// and 4-worker execution. Configurations cover both flow controls, a
+// low-load point (where most routers idle and the skip path dominates), a
+// saturation point, and Piggybacking (whose double-buffered congestion
+// tables have their own refresh-skipping logic).
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func(t *testing.T) Config
+	}{
+		{"VCT/RLM/low", func(t *testing.T) Config {
+			return testConfig(t, 2, core.RLM, 0.05)
+		}},
+		{"VCT/RLM/saturation", func(t *testing.T) Config {
+			cfg := testConfig(t, 2, core.RLM, 1.0)
+			proc, err := traffic.NewBernoulli(1.0, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Process = proc
+			return cfg
+		}},
+		{"VCT/PB/low", func(t *testing.T) Config {
+			return testConfig(t, 2, core.PB, 0.1)
+		}},
+		{"WH/PAR62", func(t *testing.T) Config {
+			cfg := testConfig(t, 2, core.PAR62, 0.3)
+			cfg.Flow = WH
+			cfg.PacketPhits = 40
+			proc, err := traffic.NewBernoulli(0.3, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Process = proc
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.cfg(t)
+			serial.Workers = 1
+			parallel := tc.cfg(t)
+			parallel.Workers = 4
+			a, b := run(t, serial), run(t, parallel)
+			if a != b {
+				t.Fatalf("worker count changed the result:\n  1 worker : %+v\n  4 workers: %+v", a, b)
+			}
+			if a.Delivered == 0 {
+				t.Fatal("nothing delivered; the comparison proved nothing")
+			}
+		})
+	}
+}
+
+// TestDeterminismBurstDrain covers the finite-process path: with most of
+// the drain spent in a nearly-idle network, the skip logic must not
+// change the drain time or any delivery statistic across worker counts.
+func TestDeterminismBurstDrain(t *testing.T) {
+	build := func(t *testing.T, workers int) Config {
+		cfg := testConfig(t, 2, core.OLM, 0)
+		burst, err := traffic.NewBurst(12, cfg.Topo.Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Process = burst
+		cfg.Warmup, cfg.Measure = 0, 0
+		cfg.MaxCycles = 200000
+		cfg.Workers = workers
+		return cfg
+	}
+	a, b := run(t, build(t, 1)), run(t, build(t, 4))
+	if a != b {
+		t.Fatalf("worker count changed the burst result:\n  1 worker : %+v\n  4 workers: %+v", a, b)
+	}
+	if a.ConsumptionCycles <= 0 {
+		t.Fatalf("burst did not drain (consumption %d)", a.ConsumptionCycles)
+	}
+}

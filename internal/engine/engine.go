@@ -7,11 +7,22 @@
 // All cross-router communication rides on time-indexed single-writer
 // single-reader rings, so a simulation can be executed by several workers
 // (one barrier per cycle) with results identical to serial execution.
+//
+// Stepping is activity-driven: senders record every phit and credit they
+// put in flight on the receiving router's per-cycle arrival schedule,
+// routers count the packet entries buffered in their input VCs, and a
+// router with nothing buffered and nothing arriving skips all per-port
+// scan work for the cycle (injection still runs so the traffic RNG
+// streams advance deterministically). Progress totals for the watchdog
+// are maintained incrementally per worker instead of being re-summed
+// over all routers every cycle, and the parallel executor synchronizes
+// cycles with an atomic generation barrier over group-contiguous shards.
 package engine
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -92,6 +103,12 @@ func (c *Config) validate() error {
 	if c.PacketPhits < 1 {
 		return fmt.Errorf("engine: packet size %d phits", c.PacketPhits)
 	}
+	if c.Topo.Ports > 64 {
+		// The activity bitmasks (router.claimPorts, router.xferPorts)
+		// hold one bit per port; 64 ports covers every dragonfly up to
+		// h=16 (131,585 routers), far beyond simulatable sizes.
+		return fmt.Errorf("engine: %d ports per router exceeds the 64-port activity-mask limit", c.Topo.Ports)
+	}
 	if c.Flow == VCT {
 		if c.BufLocal < c.PacketPhits || c.BufGlobal < c.PacketPhits {
 			return fmt.Errorf("engine: VCT needs buffers >= packet size (%d/%d < %d)",
@@ -99,6 +116,16 @@ func (c *Config) validate() error {
 		}
 	}
 	return nil
+}
+
+// progress holds one worker's incrementally-maintained progress counters.
+// The per-cycle watchdog reads their sum instead of re-scanning every
+// router. Padded so workers never share a cache line.
+type progress struct {
+	moved     int64 // crossbar phit movements (all-time)
+	live      int64 // injected minus delivered packets
+	generated int64 // all-time injected packets
+	_         [5]int64
 }
 
 // Sim is an instantiated simulation. A Sim runs once; build a new one per
@@ -114,7 +141,8 @@ type Sim struct {
 	pbPublished [][]bool
 	pbNext      [][]bool
 
-	sheets []metrics.Sheet // one per worker
+	sheets   []metrics.Sheet // one per worker
+	progress []progress      // one per worker
 
 	cycle int64
 	ran   bool
@@ -148,6 +176,12 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("engine: %s requires VCT flow control", probe.Name())
 	}
 	localVCs, globalVCs := probe.LocalVCs(), probe.GlobalVCs()
+	if localVCs > 16 || globalVCs > 16 {
+		// router.claimVCs holds one claimable bit per VC in a uint16;
+		// without this guard a wider algorithm would silently lose heads.
+		return nil, fmt.Errorf("engine: %d/%d VCs per port exceeds the 16-VC activity-mask limit",
+			localVCs, globalVCs)
+	}
 
 	s := &Sim{
 		cfg:       cfg,
@@ -157,6 +191,7 @@ func New(cfg Config) (*Sim, error) {
 		pbEnabled: cfg.Spec == core.PB,
 		routers:   make([]router, p.Routers),
 		sheets:    make([]metrics.Sheet, cfg.Workers),
+		progress:  make([]progress, cfg.Workers),
 	}
 	if s.pbEnabled {
 		s.pbPublished = make([][]bool, p.Groups)
@@ -171,6 +206,9 @@ func New(cfg Config) (*Sim, error) {
 		r := &s.routers[id]
 		r.id = id
 		r.eng = s
+		r.flow = cfg.Flow
+		r.sheet = &s.sheets[0]
+		r.prog = &s.progress[0]
 		r.alg, err = core.New(cfg.Spec, cfg.Routing)
 		if err != nil {
 			return nil, err
@@ -184,6 +222,12 @@ func New(cfg Config) (*Sim, error) {
 		r.out = make([]outPort, p.Ports)
 		r.portSent = make([]bool, p.Ports)
 		r.inputUsed = make([]bool, p.Ports)
+		r.claimVCs = make([]uint16, p.Ports)
+		maxLat := cfg.LatLocal
+		if cfg.LatGlobal > maxLat {
+			maxLat = cfg.LatGlobal
+		}
+		r.arrivals = newArrivalSchedule(maxLat)
 		for port := 0; port < p.Ports; port++ {
 			switch {
 			case p.IsLocalPort(port):
@@ -208,7 +252,8 @@ func New(cfg Config) (*Sim, error) {
 	}
 
 	// Wire the links: the sender owns the link object; the receiver's
-	// input port points at it.
+	// input port points at it. Each side also exposes its pending-arrival
+	// counter so the opposite side can announce in-flight phits/credits.
 	for id := range s.routers {
 		r := &s.routers[id]
 		for port := 0; port < p.EjectPortBase(); port++ {
@@ -220,6 +265,8 @@ func New(cfg Config) (*Sim, error) {
 			r.out[port].link = l
 			rr, rp := p.LinkTarget(id, port)
 			s.routers[rr].in[rp].link = l
+			l.phitSched = s.routers[rr].arrivals
+			l.creditSched = r.arrivals
 		}
 	}
 	return s, nil
@@ -245,7 +292,7 @@ func (s *Sim) consumeFinite(node int) {
 // stepCycle advances the whole network one cycle, serially.
 func (s *Sim) stepCycle() {
 	for i := range s.routers {
-		s.routers[i].step(s.cycle, &s.sheets[0])
+		s.routers[i].step(s.cycle)
 	}
 	s.finishCycle()
 }
@@ -259,12 +306,14 @@ func (s *Sim) finishCycle() {
 	s.cycle++
 }
 
-// totals sums the per-router progress counters.
+// totals sums the per-worker progress counters (O(workers), not
+// O(routers); the counters are maintained incrementally as packets move).
 func (s *Sim) totals() (moved, live, generated int64) {
-	for i := range s.routers {
-		moved += s.routers[i].phitsMoved
-		live += s.routers[i].live
-		generated += s.routers[i].generated
+	for i := range s.progress {
+		p := &s.progress[i]
+		moved += p.moved
+		live += p.live
+		generated += p.generated
 	}
 	return
 }
@@ -325,6 +374,7 @@ func (s *Sim) Run() (metrics.Result, error) {
 	res.Mechanism = s.cfg.Spec.String()
 	res.Pattern = s.pattern.Name()
 	res.Deadlock = deadlock
+	res.PhitsMoved, _, _ = s.totals()
 	if s.process.Finite() {
 		res.ConsumptionCycles = s.lastDelivery()
 	}
@@ -381,6 +431,49 @@ func (s *Sim) runBurst(step func()) bool {
 	return true
 }
 
+// shardBounds partitions the routers into n contiguous shards. When
+// possible the boundaries fall on dragonfly group boundaries, so the
+// densely-communicating routers of one group (complete local-link graph)
+// stay in one worker's cache.
+func (s *Sim) shardBounds(n int) []int {
+	bounds := make([]int, n+1)
+	if g := s.topo.Groups; n <= g {
+		for w := 0; w <= n; w++ {
+			bounds[w] = (w * g / n) * s.topo.RoutersPerGroup
+		}
+	} else {
+		for w := 0; w <= n; w++ {
+			bounds[w] = w * len(s.routers) / n
+		}
+	}
+	return bounds
+}
+
+// cycleBarrier synchronizes the per-cycle lockstep between the main loop
+// and the shard workers with two atomic generation counters instead of
+// per-worker channel operations: the main loop bumps startGen to release
+// every worker for one cycle, and the last worker to finish bumps doneGen.
+// Waiters spin briefly and then yield, so the barrier stays correct (if
+// slower) even when workers outnumber CPUs.
+type cycleBarrier struct {
+	startGen atomic.Uint64
+	doneGen  atomic.Uint64
+	arrived  atomic.Int32
+	quit     atomic.Bool
+}
+
+// await spins until gen differs from last, returning the new value.
+func (b *cycleBarrier) await(gen *atomic.Uint64, last uint64) uint64 {
+	for spins := 0; ; spins++ {
+		if v := gen.Load(); v != last {
+			return v
+		}
+		if spins > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
 // startWorkers launches persistent shard workers and returns a step
 // function driving one barrier-synchronized cycle, plus a stop function.
 func (s *Sim) startWorkers() (step func(), stop func()) {
@@ -388,36 +481,49 @@ func (s *Sim) startWorkers() (step func(), stop func()) {
 	if n > len(s.routers) {
 		n = len(s.routers)
 	}
-	starts := make([]chan int64, n)
-	var wg sync.WaitGroup
-	per := (len(s.routers) + n - 1) / n
+	bounds := s.shardBounds(n)
+	b := &cycleBarrier{}
 	for w := 0; w < n; w++ {
-		starts[w] = make(chan int64, 1)
-		lo, hi := w*per, (w+1)*per
-		if hi > len(s.routers) {
-			hi = len(s.routers)
+		for i := bounds[w]; i < bounds[w+1]; i++ {
+			s.routers[i].sheet = &s.sheets[w]
+			s.routers[i].prog = &s.progress[w]
 		}
-		go func(w, lo, hi int) {
-			for cycle := range starts[w] {
-				for i := lo; i < hi; i++ {
-					s.routers[i].step(cycle, &s.sheets[w])
+	}
+	// Shard 0 runs on the calling goroutine, so only n-1 workers are
+	// launched and no goroutine ever just spins through a whole cycle.
+	for w := 1; w < n; w++ {
+		go func(lo, hi int) {
+			var seen uint64
+			for {
+				seen = b.await(&b.startGen, seen)
+				if b.quit.Load() {
+					return
 				}
-				wg.Done()
+				cycle := s.cycle
+				for i := lo; i < hi; i++ {
+					s.routers[i].step(cycle)
+				}
+				if b.arrived.Add(1) == int32(n-1) {
+					b.arrived.Store(0)
+					b.doneGen.Add(1)
+				}
 			}
-		}(w, lo, hi)
+		}(bounds[w], bounds[w+1])
 	}
 	step = func() {
-		wg.Add(n)
-		for w := 0; w < n; w++ {
-			starts[w] <- s.cycle
+		done := b.doneGen.Load()
+		b.startGen.Add(1)
+		for i := bounds[0]; i < bounds[1]; i++ {
+			s.routers[i].step(s.cycle)
 		}
-		wg.Wait()
+		if n > 1 {
+			b.await(&b.doneGen, done)
+		}
 		s.finishCycle()
 	}
 	stop = func() {
-		for w := 0; w < n; w++ {
-			close(starts[w])
-		}
+		b.quit.Store(true)
+		b.startGen.Add(1)
 	}
 	return step, stop
 }

@@ -1,5 +1,7 @@
 package engine
 
+import "sync/atomic"
+
 // link is one directed physical channel. The sender writes at most one phit
 // per cycle into the time-indexed phit ring; the receiver reads slot
 // cycle%len. Credits travel the opposite way on the credit ring with the
@@ -7,12 +9,56 @@ package engine
 // makes the parallel executor race-free without locks: slot indices written
 // during cycle t (t+latency) never collide with the ones read at t as long
 // as the ring has latency+2 slots.
+//
+// Each direction also announces its traffic on the receiving router's
+// arrival schedule (phitSched for phits, creditSched for the credits
+// flowing back to the sender), which is what lets idle routers skip
+// scanning their links: a send is recorded under its arrival cycle,
+// strictly before that cycle is reached, so a receiver whose schedule
+// slot reads zero provably has nothing to absorb this cycle.
 type link struct {
 	latency int
 	mask    int64 // ring length - 1 (length is a power of two)
 
 	phits   []phitSlot
 	credits []creditSlot
+
+	phitSched   *arrivalSchedule // schedule of the phit receiver
+	creditSched *arrivalSchedule // schedule of the credit receiver (the sender router)
+}
+
+// arrivalSchedule counts, per cycle, how many phits and credits will
+// arrive at one router. Senders increment the slot of the arrival cycle
+// at send time; the receiver drains its current slot once per cycle.
+// A slot for cycle c is only ever written during cycles < c (latency is
+// at least 1) and only read at cycle c, so with the ring covering the
+// maximum latency plus two, concurrent accesses can only be increments
+// by different senders — which is why a plain atomic counter per slot
+// suffices.
+type arrivalSchedule struct {
+	slots []atomic.Int32
+	mask  int64
+}
+
+func newArrivalSchedule(maxLatency int) *arrivalSchedule {
+	n := 1
+	for n < maxLatency+2 {
+		n <<= 1
+	}
+	return &arrivalSchedule{slots: make([]atomic.Int32, n), mask: int64(n - 1)}
+}
+
+// add records one arrival at the given cycle.
+func (s *arrivalSchedule) add(cycle int64) { s.slots[cycle&s.mask].Add(1) }
+
+// take drains and returns the arrival count for the given cycle.
+func (s *arrivalSchedule) take(cycle int64) int32 {
+	slot := &s.slots[cycle&s.mask]
+	n := slot.Load()
+	if n != 0 {
+		slot.Store(0)
+	}
+	return n
 }
 
 // phitSlot carries one phit: the packet it belongs to and the virtual
@@ -53,6 +99,9 @@ func (l *link) sendPhit(now int64, pkt *Packet, vc int) {
 	}
 	s.pkt = pkt
 	s.vc = int8(vc)
+	if l.phitSched != nil {
+		l.phitSched.add(now + int64(l.latency))
+	}
 }
 
 // recvPhit consumes the phit arriving now, if any.
@@ -74,6 +123,9 @@ func (l *link) sendCredit(now int64, vc int) {
 	}
 	s.vc = int8(vc)
 	s.valid = true
+	if l.creditSched != nil {
+		l.creditSched.add(now + int64(l.latency))
+	}
 }
 
 // recvCredit consumes the credit arriving now, if any.

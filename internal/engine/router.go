@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -25,6 +26,7 @@ type outPort struct {
 	credits   []int32 // per VC; unused for ejection
 	capacity  int32   // downstream buffer capacity per VC (phits)
 	transfers []transfer
+	nActive   int8 // transfers currently active on this port
 	rr        int  // round-robin cursor over VCs
 	global    bool // link class, for statistics
 }
@@ -40,6 +42,13 @@ type inPort struct {
 // other's state directly: all communication crosses time-indexed link
 // rings, so the parallel executor can run routers of the same cycle
 // concurrently.
+//
+// Stepping is activity-driven: the router tracks how much work it could
+// possibly have this cycle (buffered packet entries, scheduled phit and
+// credit arrivals) and skips the per-port scan loops entirely when there
+// is none. The tracked sets are pure functions of simulation state, so
+// skipping never changes results — serial and parallel runs, and runs with
+// or without the skip, all stay bit-identical.
 type router struct {
 	id  int
 	eng *Sim
@@ -51,7 +60,39 @@ type router struct {
 	routeRand *rng.PCG
 	nodeRand  []*rng.PCG // one generator stream per attached node
 
-	rrIn int // round-robin cursor over input ports for new claims
+	flow FlowControl // cached from Config for the per-phit hot paths
+
+	// sheet and prog are the metrics sheet and progress counters of the
+	// worker that owns this router's shard; pinned before Run stepping
+	// starts and never written by any other worker.
+	sheet *metrics.Sheet
+	prog  *progress
+
+	// Activity tracking.
+	//
+	// arrivals schedules the phits and credits in flight toward this
+	// router by arrival cycle. Senders fill it inside sendPhit/sendCredit
+	// (they know the arrival cycle at send time); step drains the current
+	// cycle's slot and skips the absorb scan entirely when it is empty.
+	// It is the only cross-router-written state, and it lives in its own
+	// allocation so remote workers' increments never invalidate the cache
+	// lines of this struct's single-writer hot fields.
+	arrivals *arrivalSchedule
+	// occupied counts packet entries across all input VC buffers
+	// (injection queues included). Nonzero occupied covers every local
+	// work source: unclaimed heads, active transfers, packets streaming.
+	occupied int
+	// claimVCs[p] holds one bit per VC of input port p whose buffer has
+	// an unclaimed head; claimPorts is the port-level summary bitmask.
+	claimVCs   []uint16
+	claimPorts uint64
+	// xferPorts has one bit per output port with an active transfer.
+	xferPorts uint64
+	// pbCooldown is the number of upcoming cycles that must still refresh
+	// this router's Piggybacking bits: credit state changes are published
+	// into a double-buffered table, so after the last change both buffers
+	// need one write each before the refresh can stop.
+	pbCooldown int8
 
 	// per-cycle scratch
 	portSent  []bool // output port already transmitted this cycle
@@ -66,10 +107,6 @@ type router struct {
 
 	pktSeq int64 // per-router packet id sequence
 
-	// counters local to the current cycle's worker
-	phitsMoved        int64
-	live              int64 // injected minus delivered (all-time)
-	generated         int64 // all-time injected packets
 	lastDeliveryCycle int64
 }
 
@@ -82,7 +119,7 @@ func (r *router) CanClaim(port, vc, size int) bool {
 	if op.link == nil {
 		return true // ejection: infinite credits
 	}
-	return op.credits[vc] >= r.eng.cfg.Flow.claimNeed(int32(size))
+	return op.credits[vc] >= r.flow.claimNeed(int32(size))
 }
 
 // CanStart implements core.View: the credit-only claim condition.
@@ -91,7 +128,7 @@ func (r *router) CanStart(port, vc, size int) bool {
 	if op.link == nil {
 		return true
 	}
-	return op.credits[vc] >= r.eng.cfg.Flow.claimNeed(int32(size))
+	return op.credits[vc] >= r.flow.claimNeed(int32(size))
 }
 
 // Occupancy implements core.View.
@@ -120,34 +157,82 @@ func (r *router) CurrentQueue() (occupancy, capacity int) {
 // HeadFullyArrived implements core.View.
 func (r *router) HeadFullyArrived() bool { return r.curHeadFull }
 
+// markClaimable records that input (port, vc) now has an unclaimed head.
+func (r *router) markClaimable(port, vc int) {
+	if r.claimVCs[port] == 0 {
+		r.claimPorts |= 1 << uint(port)
+	}
+	r.claimVCs[port] |= 1 << uint(vc)
+}
+
+// unmarkClaimable records that input (port, vc) no longer has an unclaimed
+// head (claimed, or emptied).
+func (r *router) unmarkClaimable(port, vc int) {
+	r.claimVCs[port] &^= 1 << uint(vc)
+	if r.claimVCs[port] == 0 {
+		r.claimPorts &^= 1 << uint(port)
+	}
+}
+
 // step advances the router by one cycle.
-func (r *router) step(cycle int64, sheet *metrics.Sheet) {
-	r.absorb(cycle)
-	r.inject(cycle, sheet)
+func (r *router) step(cycle int64) {
+	if n := r.arrivals.take(cycle); n != 0 {
+		r.absorb(cycle, n)
+	}
+	// Injection must run every cycle regardless of activity — the traffic
+	// process consumes its per-node RNG streams unconditionally, and
+	// skipping a draw would change every subsequent decision.
+	empty := r.occupied == 0
+	r.inject(cycle)
+	if empty && r.occupied == 0 {
+		// Fully idle: no buffered packets, no transfers, nothing arrived,
+		// nothing injected.
+		if r.pbCooldown > 0 {
+			r.publishPB()
+			r.pbCooldown--
+		}
+		return
+	}
+	r.clearScratch()
+	r.continueTransfers(cycle)
+	r.makeClaims(cycle)
+	r.publishPBActive()
+}
+
+// clearScratch resets the per-cycle crossbar allocation flags.
+func (r *router) clearScratch() {
 	for i := range r.portSent {
 		r.portSent[i] = false
 	}
 	for i := range r.inputUsed {
 		r.inputUsed[i] = false
 	}
-	r.continueTransfers(cycle, sheet)
-	r.makeClaims(cycle, sheet)
-	r.publishPB()
 }
 
 // absorb pulls arriving phits into input buffers and arriving credits into
-// output counters.
-func (r *router) absorb(cycle int64) {
+// output counters. expect is the arrival schedule's count for this cycle,
+// so the port scan can stop as soon as everything has been found.
+func (r *router) absorb(cycle int64, expect int32) {
+	var consumed int32
 	for i := range r.in {
 		ip := &r.in[i]
 		if ip.link == nil {
 			continue
 		}
 		if pkt, vc := ip.link.recvPhit(cycle); pkt != nil {
-			ip.vcs[vc].pushPhit(pkt)
+			buf := &ip.vcs[vc]
+			if buf.pushPhit(pkt) {
+				r.occupied++
+			}
+			if !buf.claimed {
+				r.markClaimable(i, vc)
+			}
+			if consumed++; consumed == expect {
+				break
+			}
 		}
 	}
-	for i := range r.out {
+	for i := 0; consumed < expect && i < len(r.out); i++ {
 		op := &r.out[i]
 		if op.link == nil {
 			continue
@@ -155,14 +240,21 @@ func (r *router) absorb(cycle int64) {
 		if vc, ok := op.link.recvCredit(cycle); ok {
 			op.credits[vc]++
 			if op.credits[vc] > op.capacity {
-				panic("engine: credit overflow")
+				panic(fmt.Sprintf("engine: credit overflow at router %d out port %d vc %d (%d > %d)",
+					r.id, i, vc, op.credits[vc], op.capacity))
 			}
+			consumed++
 		}
+	}
+	// Credit arrivals change the occupancy the Piggybacking bits
+	// summarize; schedule a refresh of both table buffers.
+	if r.eng.pbEnabled {
+		r.pbCooldown = 2
 	}
 }
 
 // inject asks the traffic process for new packets and queues them.
-func (r *router) inject(cycle int64, sheet *metrics.Sheet) {
+func (r *router) inject(cycle int64) {
 	e := r.eng
 	base := e.topo.EjectPortBase()
 	for k := 0; k < e.topo.H; k++ {
@@ -171,11 +263,12 @@ func (r *router) inject(cycle int64, sheet *metrics.Sheet) {
 		if !e.process.Generate(node, cycle, rnd) {
 			continue
 		}
-		q := &r.in[base+k].vcs[0]
+		port := base + k
+		q := &r.in[port].vcs[0]
 		if !q.hasSpaceFor(int32(e.cfg.PacketPhits)) {
 			if !e.process.Finite() {
-				sheet.InjectionLost++
-				sheet.Generated++
+				r.sheet.InjectionLost++
+				r.sheet.Generated++
 			}
 			continue // finite processes retry next cycle
 		}
@@ -188,26 +281,36 @@ func (r *router) inject(cycle int64, sheet *metrics.Sheet) {
 		dst := e.pattern.Dest(node, rnd)
 		pkt.St.Init(e.topo, node, dst)
 		q.pushWholePacket(pkt)
+		r.occupied++
+		if !q.claimed {
+			r.markClaimable(port, 0)
+		}
 		e.consumeFinite(node)
-		sheet.Generated++
-		sheet.Injected++
-		r.generated++
-		r.live++
+		r.sheet.Generated++
+		r.sheet.Injected++
+		r.prog.generated++
+		r.prog.live++
 	}
 }
 
 // continueTransfers moves one phit per output port among its active
 // transfers, respecting the one-phit-per-input-port crossbar constraint.
-func (r *router) continueTransfers(cycle int64, sheet *metrics.Sheet) {
-	for p := range r.out {
+// Only ports in the xferPorts active set are visited; bit order matches the
+// ascending port order of the exhaustive scan it replaces.
+func (r *router) continueTransfers(cycle int64) {
+	for m := r.xferPorts; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
 		op := &r.out[p]
 		n := len(op.transfers)
 		for i := 0; i < n; i++ {
-			vc := (op.rr + i) % n
+			vc := op.rr + i
+			if vc >= n {
+				vc -= n
+			}
 			if !op.transfers[vc].active {
 				continue
 			}
-			if r.trySendPhit(cycle, p, vc, sheet) {
+			if r.trySendPhit(cycle, p, vc) {
 				op.rr = vc + 1
 				break
 			}
@@ -217,7 +320,7 @@ func (r *router) continueTransfers(cycle int64, sheet *metrics.Sheet) {
 
 // trySendPhit attempts to move one phit of the transfer on (port, vc).
 // It returns true if a phit moved.
-func (r *router) trySendPhit(cycle int64, port, vc int, sheet *metrics.Sheet) bool {
+func (r *router) trySendPhit(cycle int64, port, vc int) bool {
 	op := &r.out[port]
 	t := &op.transfers[vc]
 	if r.portSent[port] || r.inputUsed[t.inPort] {
@@ -238,7 +341,7 @@ func (r *router) trySendPhit(cycle int64, port, vc int, sheet *metrics.Sheet) bo
 		// Under VCT the whole packet's credits were reserved at claim
 		// time (see claimHead), so streaming never stalls on credits;
 		// under wormhole, backpressure is per phit.
-		if r.eng.cfg.Flow == WH {
+		if r.flow == WH {
 			if op.credits[vc] <= 0 {
 				return false
 			}
@@ -246,15 +349,15 @@ func (r *router) trySendPhit(cycle int64, port, vc int, sheet *metrics.Sheet) bo
 		}
 		op.link.sendPhit(cycle, t.pkt, vc)
 		if op.global {
-			sheet.GlobalLinkPhits++
+			r.sheet.GlobalLinkPhits++
 		} else {
-			sheet.LocalLinkPhits++
+			r.sheet.LocalLinkPhits++
 		}
 	}
 	pkt, tail := buf.takePhit()
 	r.portSent[port] = true
 	r.inputUsed[t.inPort] = true
-	r.phitsMoved++
+	r.prog.moved++
 	// The phit left the input buffer: return a credit upstream.
 	if up := r.in[t.inPort].link; up != nil {
 		up.sendCredit(cycle, int(t.inVC))
@@ -262,49 +365,75 @@ func (r *router) trySendPhit(cycle int64, port, vc int, sheet *metrics.Sheet) bo
 	if tail {
 		t.active = false
 		t.pkt = nil
+		op.nActive--
+		if op.nActive == 0 {
+			r.xferPorts &^= 1 << uint(port)
+		}
+		r.occupied--
+		// takePhit released the buffer's claim; its next head (if any)
+		// becomes claimable.
+		if !buf.empty() {
+			r.markClaimable(int(t.inPort), int(t.inVC))
+		}
 		if op.link == nil {
-			r.deliver(cycle, pkt, sheet)
+			r.deliver(cycle, pkt)
 		}
 	}
 	return true
 }
 
 // deliver finalizes a packet at its ejection port.
-func (r *router) deliver(cycle int64, pkt *Packet, sheet *metrics.Sheet) {
+func (r *router) deliver(cycle int64, pkt *Packet) {
 	st := &pkt.St
 	if int(st.DstRouter) != r.id {
 		panic("engine: delivery at wrong router")
 	}
-	sheet.RecordDelivery(int(pkt.Size),
+	r.sheet.RecordDelivery(int(pkt.Size),
 		cycle-pkt.CreatedAt, cycle-pkt.InjectedAt,
 		int(st.LocalHops), int(st.GlobalHops),
 		int(st.LocalMisCount), int(st.GlobalMisCount), int(st.EscapeHops))
-	r.live--
+	r.prog.live--
 	r.lastDeliveryCycle = cycle
 	freePacket(pkt)
 }
 
-// makeClaims routes unclaimed head packets and allocates output VCs.
-func (r *router) makeClaims(cycle int64, sheet *metrics.Sheet) {
-	nIn := len(r.in)
-	for i := 0; i < nIn; i++ {
-		p := (r.rrIn + i) % nIn
-		ip := &r.in[p]
-		for vc := range ip.vcs {
-			buf := &ip.vcs[vc]
-			if buf.empty() || buf.claimed {
-				continue
-			}
-			r.claimHead(cycle, p, vc, sheet)
-		}
+// makeClaims routes unclaimed head packets and allocates output VCs. Only
+// (port, VC) pairs in the claimable set are visited. The round-robin
+// rotation offset is derived from the cycle number — exactly the rotation
+// the exhaustive scan it replaces used (its cursor advanced once per
+// cycle), so arbitration order is identical, it stays identical across
+// skipped idle cycles, and no counter can overflow on long runs.
+func (r *router) makeClaims(cycle int64) {
+	if r.claimPorts == 0 {
+		return
 	}
-	r.rrIn++
+	rr := uint(cycle % int64(len(r.in)))
+	// Bits >= rr first, then the wrapped-around remainder.
+	hi := r.claimPorts >> rr << rr
+	for m := hi; m != 0; m &= m - 1 {
+		r.claimPort(cycle, bits.TrailingZeros64(m))
+	}
+	for m := r.claimPorts &^ hi; m != 0; m &= m - 1 {
+		r.claimPort(cycle, bits.TrailingZeros64(m))
+	}
+}
+
+// claimPort tries to claim every claimable head of input port p.
+func (r *router) claimPort(cycle int64, p int) {
+	for vcm := r.claimVCs[p]; vcm != 0; vcm &= vcm - 1 {
+		vc := bits.TrailingZeros16(vcm)
+		buf := &r.in[p].vcs[vc]
+		if buf.empty() || buf.claimed {
+			continue
+		}
+		r.claimHead(cycle, p, vc)
+	}
 }
 
 // claimHead evaluates routing for the head packet of input (port, vc) and,
 // when a decision is claimable, allocates the output VC (and pushes the
 // first phit if the crossbar still has capacity this cycle).
-func (r *router) claimHead(cycle int64, port, vc int, sheet *metrics.Sheet) {
+func (r *router) claimHead(cycle int64, port, vc int) {
 	buf := &r.in[port].vcs[vc]
 	entry := buf.headEntry()
 	pkt := entry.pkt
@@ -327,14 +456,16 @@ func (r *router) claimHead(cycle int64, port, vc int, sheet *metrics.Sheet) {
 		}
 		outPortIdx, outVC = dec.Port, dec.VC
 		if !r.CanClaim(outPortIdx, outVC, int(pkt.Size)) {
-			panic(fmt.Sprintf("engine: %s routed to unclaimable (%d,%d)",
-				r.alg.Name(), outPortIdx, outVC))
+			panic(fmt.Sprintf("engine: %s routed to unclaimable (%d,%d) at router %d",
+				r.alg.Name(), outPortIdx, outVC, r.id))
 		}
 		core.CommitHop(e.topo, &pkt.St, r.id, dec)
 	}
 	op := &r.out[outPortIdx]
 	op.transfers[outVC] = transfer{active: true, inPort: int16(port), inVC: int8(vc), pkt: pkt}
-	if op.link != nil && e.cfg.Flow == VCT {
+	op.nActive++
+	r.xferPorts |= 1 << uint(outPortIdx)
+	if op.link != nil && r.flow == VCT {
 		// Atomic whole-packet credit reservation: downstream free space
 		// stays a whole number of packet slots, which the bubble flow
 		// control of OFAR's escape ring (and VCT correctness in
@@ -342,14 +473,26 @@ func (r *router) claimHead(cycle int64, port, vc int, sheet *metrics.Sheet) {
 		// on credits mid-packet.
 		op.credits[outVC] -= pkt.Size
 		if op.credits[outVC] < 0 {
-			panic("engine: VCT claim without sufficient credits")
+			panic(fmt.Sprintf("engine: VCT claim without sufficient credits at router %d out port %d vc %d (deficit %d)",
+				r.id, outPortIdx, outVC, -op.credits[outVC]))
 		}
 	}
 	buf.claimed = true
+	r.unmarkClaimable(port, vc)
 	if pkt.InjectedAt < 0 {
 		pkt.InjectedAt = cycle
 	}
-	r.trySendPhit(cycle, outPortIdx, outVC, sheet)
+	r.trySendPhit(cycle, outPortIdx, outVC)
+}
+
+// publishPBActive refreshes the Piggybacking bits at the end of an active
+// cycle and schedules the follow-up refresh of the second table buffer.
+func (r *router) publishPBActive() {
+	if !r.eng.pbEnabled {
+		return
+	}
+	r.publishPB()
+	r.pbCooldown = 1
 }
 
 // publishPB refreshes the Piggybacking congestion bits for the global

@@ -138,6 +138,11 @@ type Result struct {
 	Generated     int64
 	InjectionLost int64
 
+	// PhitsMoved counts every crossbar phit movement over the whole run
+	// (warmup included), the engine's raw unit of work; benchmark
+	// harnesses divide it by wall time.
+	PhitsMoved int64
+
 	LocalLinkUtil  float64 // mean phits/cycle per local link
 	GlobalLinkUtil float64 // mean phits/cycle per global link
 
