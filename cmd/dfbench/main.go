@@ -6,21 +6,35 @@
 // execution) so successive BENCH_<n>.json files track the engine's
 // performance trajectory over time.
 //
+// The matrix is built and driven by internal/exp; the orchestrator runs
+// one point at a time by default (wall-clock timing stays clean), with
+// -parallel for smoke runs where timing fidelity does not matter.
+//
+// With -baseline, the run is compared point-by-point against a previous
+// report: single-point regressions beyond -maxregress are report-only
+// warnings (benchmark noise), but a median regression beyond -maxregress
+// across the matrix fails the run — the CI perf gate.
+//
 // Usage:
 //
 //	go run ./cmd/dfbench -o BENCH_1.json
-//	go run ./cmd/dfbench -quick          # h=2 subset, for smoke tests
+//	go run ./cmd/dfbench -quick -reps 1 -o /dev/null -baseline BENCH_1.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"sort"
 	"time"
 
 	dragonfly "repro"
+	"repro/internal/exp"
 )
 
 // Point is one benchmark measurement.
@@ -57,6 +71,9 @@ func main() {
 	measure := flag.Int64("measure", 1500, "measured cycles per point")
 	reps := flag.Int("reps", 3, "repetitions per point; the fastest is reported")
 	quick := flag.Bool("quick", false, "h=2 serial subset only (CI smoke)")
+	par := flag.Int("parallel", 1, "concurrent points (>1 ruins timing; smoke runs only)")
+	baseline := flag.String("baseline", "", "previous report to compare sim_cycles_per_sec against")
+	maxRegress := flag.Float64("maxregress", 0.30, "median regression fraction that fails a -baseline comparison")
 	verbose := flag.Bool("v", false, "print each point as it completes")
 	flag.Parse()
 	if *reps < 1 {
@@ -69,15 +86,56 @@ func main() {
 		hs = []int{2}
 		workerSet = []int{1}
 	}
-	flows := []dragonfly.FlowControl{dragonfly.VCT, dragonfly.WH}
-	mechs := []dragonfly.Mechanism{
-		dragonfly.Minimal, dragonfly.Valiant, dragonfly.PAR62,
-		dragonfly.Piggybacking, dragonfly.OFAR,
-	}
 	type patternPoint struct {
 		tr   dragonfly.Traffic
 		load float64
 	}
+	patterns := []patternPoint{
+		{dragonfly.Traffic{Kind: dragonfly.UN}, 0.05},
+		{dragonfly.Traffic{Kind: dragonfly.UN}, 1.0},
+		{dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, 0.05},
+		{dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, 1.0},
+	}
+	mechs := []dragonfly.Mechanism{
+		dragonfly.Minimal, dragonfly.Valiant, dragonfly.PAR62,
+		dragonfly.Piggybacking, dragonfly.OFAR,
+	}
+
+	// The fixed benchmark matrix, declaratively. Reduced link latencies
+	// keep point runtimes manageable while preserving the engine's work
+	// profile; the WH packet size (40 phits) fits the default 256-phit
+	// global buffers. The Filter drops VCT-only mechanisms under WH.
+	camp := exp.NewMatrix(dragonfly.Config{
+		Warmup: *warmup, Measure: *measure, Seed: 1,
+		LatLocal: 4, LatGlobal: 16,
+	}).
+		Axis(len(hs),
+			func(i int) string { return fmt.Sprintf("h=%d", hs[i]) },
+			func(c *dragonfly.Config, i int) { c.H = hs[i] }).
+		Axis(2,
+			func(i int) string { return []string{"VCT", "WH"}[i] },
+			func(c *dragonfly.Config, i int) {
+				if i == 1 {
+					c.FlowControl = dragonfly.WH
+					c.PacketPhits = 40
+				}
+			}).
+		Mechanisms(mechs...).
+		Axis(len(patterns),
+			func(i int) string {
+				return fmt.Sprintf("%s/%.2f", patterns[i].tr.Name(0), patterns[i].load)
+			},
+			func(c *dragonfly.Config, i int) {
+				c.Traffic = patterns[i].tr
+				c.Load = patterns[i].load
+			}).
+		Axis(len(workerSet),
+			func(i int) string { return fmt.Sprintf("w=%d", workerSet[i]) },
+			func(c *dragonfly.Config, i int) { c.Workers = workerSet[i] }).
+		Filter(func(c dragonfly.Config) bool {
+			return !(c.Mechanism.RequiresVCT() && c.FlowControl == dragonfly.WH)
+		}).
+		Campaign("dfbench")
 
 	rep := Report{
 		GoVersion:  runtime.Version(),
@@ -85,122 +143,166 @@ func main() {
 		Warmup:     *warmup,
 		Measure:    *measure,
 	}
-	for _, h := range hs {
-		patterns := []patternPoint{
-			{dragonfly.Traffic{Kind: dragonfly.UN}, 0.05},
-			{dragonfly.Traffic{Kind: dragonfly.UN}, 1.0},
-			{dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, 0.05},
-			{dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, 1.0},
-		}
-		for _, flow := range flows {
-			for _, m := range mechs {
-				if m.RequiresVCT() && flow == dragonfly.WH {
-					continue
+
+	// The custom runner times the stepping loop itself (build excluded)
+	// and keeps the fastest of -reps repetitions: the simulation is
+	// deterministic, so repetitions only sample scheduler and cache noise
+	// and the minimum is the cleanest estimate.
+	walls := make([]float64, len(camp.Points))
+	cycles := make([]int64, len(camp.Points))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opt := exp.Options{
+		Workers: *par,
+		Run: func(ctx context.Context, index int, p exp.Point) (dragonfly.Result, error) {
+			var best dragonfly.Result
+			for i := 0; i < *reps; i++ {
+				sim, err := dragonfly.Prepare(p.Config)
+				if err != nil {
+					return dragonfly.Result{}, err
 				}
-				for _, pp := range patterns {
-					for _, w := range workerSet {
-						pt, err := bestOf(*reps, h, flow, m, pp.tr, pp.load, w, *warmup, *measure)
-						if err != nil {
-							fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
-							os.Exit(1)
-						}
-						if *verbose {
-							fmt.Fprintf(os.Stderr, "h=%d %s %-5s %-7s load=%.2f w=%d: %.0f cycles/s, %.0f phits/s\n",
-								pt.H, pt.Flow, pt.Mechanism, pt.Pattern, pt.Load, pt.Workers,
-								pt.CyclesPerSec, pt.PhitsPerSec)
-						}
-						rep.Points = append(rep.Points, pt)
-					}
+				start := time.Now()
+				res, err := sim.RunContext(ctx)
+				if err != nil {
+					return dragonfly.Result{}, err
+				}
+				wall := time.Since(start).Seconds()
+				if i == 0 || wall < walls[index] {
+					// Cycles actually simulated: warmup+measure unless a
+					// watchdog ended the run early, in which case the
+					// throughput covers the truncated run.
+					walls[index], cycles[index], best = wall, sim.Cycles(), res
 				}
 			}
+			return best, nil
+		},
+	}
+	if *verbose {
+		opt.Progress = func(pr exp.Progress) {
+			o := pr.Outcome
+			if o.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s: %v\n", pr.Done, pr.Total, o.Point.Series, o.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %.0f cycles/s\n",
+				pr.Done, pr.Total, o.Point.Series, float64(cycles[o.Index])/walls[o.Index])
 		}
+	}
+	outs, runErr := exp.Run(ctx, camp, opt)
+	fatalIf(runErr)
+	fatalIf(exp.PointErrors(outs))
+	for _, o := range outs {
+		cfg, res := o.Point.Config, o.Result
+		rep.Points = append(rep.Points, Point{
+			H:         cfg.H,
+			Flow:      cfg.FlowControl.String(),
+			Mechanism: res.Mechanism,
+			Pattern:   res.Pattern,
+			Load:      cfg.Load,
+			Workers:   cfg.Workers,
+
+			Cycles:       cycles[o.Index],
+			WallSeconds:  walls[o.Index],
+			CyclesPerSec: float64(cycles[o.Index]) / walls[o.Index],
+			PhitsMoved:   res.PhitsMoved,
+			PhitsPerSec:  float64(res.PhitsMoved) / walls[o.Index],
+
+			AcceptedLoad: res.AcceptedLoad,
+			Deadlock:     res.Deadlock,
+		})
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
-		os.Exit(1)
-	}
+	fatalIf(err)
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		fatalIf(os.WriteFile(*out, buf, 0o644))
+		fmt.Printf("dfbench: wrote %d points to %s\n", len(rep.Points), *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+
+	// With -o -, stdout carries the JSON document; the comparison output
+	// must not corrupt the stream.
+	cmpOut := os.Stdout
+	if *out == "-" {
+		cmpOut = os.Stderr
+	}
+	if *baseline != "" && !compareBaseline(cmpOut, rep, *baseline, *maxRegress) {
+		os.Exit(1)
+	}
+}
+
+// pointKey identifies a matrix point across reports.
+type pointKey struct {
+	H         int
+	Flow      string
+	Mechanism string
+	Pattern   string
+	Load      float64
+	Workers   int
+}
+
+func (p Point) key() pointKey {
+	return pointKey{p.H, p.Flow, p.Mechanism, p.Pattern, p.Load, p.Workers}
+}
+
+// compareBaseline checks rep's sim_cycles_per_sec against an earlier
+// report. Per-point regressions beyond maxRegress print report-only
+// warnings (single points are noisy); the verdict is the median ratio
+// over all matched points, which cancels point noise but not a real
+// engine slowdown. Returns false — fail — when the median regresses by
+// more than maxRegress, and also when no baseline point matches this
+// matrix at all (a gate that compares nothing must not pass silently).
+// Output uses GitHub Actions annotation syntax so regressions surface on
+// the workflow summary.
+func compareBaseline(w io.Writer, rep Report, path string, maxRegress float64) bool {
+	buf, err := os.ReadFile(path)
+	fatalIf(err)
+	var base Report
+	fatalIf(json.Unmarshal(buf, &base))
+	old := make(map[pointKey]float64, len(base.Points))
+	for _, p := range base.Points {
+		old[p.key()] = p.CyclesPerSec
+	}
+
+	var ratios []float64
+	floor := 1 - maxRegress
+	for _, p := range rep.Points {
+		was, ok := old[p.key()]
+		if !ok || was <= 0 || p.CyclesPerSec <= 0 {
+			continue
+		}
+		ratio := p.CyclesPerSec / was
+		ratios = append(ratios, ratio)
+		if ratio < floor {
+			fmt.Fprintf(w, "::warning title=dfbench point regression::%s %s %s load=%.2f w=%d: %.0f -> %.0f cycles/s (%.0f%%)\n",
+				p.Flow, p.Mechanism, p.Pattern, p.Load, p.Workers,
+				was, p.CyclesPerSec, 100*ratio)
+		}
+	}
+	if len(ratios) == 0 {
+		fmt.Fprintf(w, "::error title=dfbench perf regression::no points of %s match this matrix; regenerate the baseline\n", path)
+		return false
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	fmt.Fprintf(w, "dfbench: %d points vs %s: median %.0f%%, min %.0f%%, max %.0f%% of baseline sim_cycles_per_sec\n",
+		len(ratios), path, 100*median, 100*ratios[0], 100*ratios[len(ratios)-1])
+	if median < floor {
+		fmt.Fprintf(w, "::error title=dfbench perf regression::median sim_cycles_per_sec is %.0f%% of %s (floor %.0f%%)\n",
+			100*median, path, 100*floor)
+		return false
+	}
+	return true
+}
+
+func fatalIf(err error) {
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dfbench: wrote %d points to %s\n", len(rep.Points), *out)
-}
-
-// bestOf runs a point reps times and keeps the fastest wall time: the
-// simulation itself is deterministic, so repetitions only sample scheduler
-// and cache noise and the minimum is the cleanest estimate.
-func bestOf(reps, h int, flow dragonfly.FlowControl, m dragonfly.Mechanism, tr dragonfly.Traffic, load float64, workers int, warmup, measure int64) (Point, error) {
-	var best Point
-	for i := 0; i < reps; i++ {
-		pt, err := runPoint(h, flow, m, tr, load, workers, warmup, measure)
-		if err != nil {
-			return Point{}, err
-		}
-		if i == 0 || pt.WallSeconds < best.WallSeconds {
-			best = pt
-		}
-	}
-	return best, nil
-}
-
-func runPoint(h int, flow dragonfly.FlowControl, m dragonfly.Mechanism, tr dragonfly.Traffic, load float64, workers int, warmup, measure int64) (Point, error) {
-	cfg := dragonfly.Config{
-		H:           h,
-		Mechanism:   m,
-		FlowControl: flow,
-		Traffic:     tr,
-		Load:        load,
-		Warmup:      warmup,
-		Measure:     measure,
-		Seed:        1,
-		Workers:     workers,
-		// Reduced link latencies keep point runtimes manageable while
-		// preserving the engine's work profile.
-		LatLocal:  4,
-		LatGlobal: 16,
-	}
-	if flow == dragonfly.WH {
-		cfg.PacketPhits = 40 // fits the default 256-phit global buffers
-	}
-	// Build outside the timer: the wall clock covers only simulation
-	// stepping, so the reported throughput measures the engine, not the
-	// allocator.
-	sim, err := dragonfly.Prepare(cfg)
-	if err != nil {
-		return Point{}, fmt.Errorf("h=%d %s %s: %w", h, flow, m, err)
-	}
-	start := time.Now()
-	res, err := sim.Run()
-	if err != nil {
-		return Point{}, fmt.Errorf("h=%d %s %s: %w", h, flow, m, err)
-	}
-	wall := time.Since(start).Seconds()
-	// The cycles actually simulated: equals warmup+measure unless a
-	// watchdog ended the run early, in which case the throughput must be
-	// computed over the truncated run.
-	cycles := sim.Cycles()
-	return Point{
-		H:         h,
-		Flow:      flow.String(),
-		Mechanism: res.Mechanism,
-		Pattern:   res.Pattern,
-		Load:      load,
-		Workers:   workers,
-
-		Cycles:       cycles,
-		WallSeconds:  wall,
-		CyclesPerSec: float64(cycles) / wall,
-		PhitsMoved:   res.PhitsMoved,
-		PhitsPerSec:  float64(res.PhitsMoved) / wall,
-
-		AcceptedLoad: res.AcceptedLoad,
-		Deadlock:     res.Deadlock,
-	}, nil
 }

@@ -1,21 +1,26 @@
 // Command dfsweep runs an offered-load sweep for a set of mechanisms and
 // prints the latency/throughput series as a gnuplot-style .dat stream or a
-// markdown table.
+// markdown table. Points run concurrently on internal/exp's worker pool;
+// Ctrl-C cancels the sweep mid-point.
 //
 // Example:
 //
 //	dfsweep -h 4 -mechs RLM,OLM,Valiant -traffic ADVG -offset 1 \
-//	        -loads 0.05,0.1,0.2,0.3,0.4,0.5 -metric accepted -format md
+//	        -loads 0.05,0.1,0.2,0.3,0.4,0.5 -metric accepted -format md \
+//	        -cache ~/.cache/dfsweep -jsonl points.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	dragonfly "repro"
+	"repro/internal/exp"
 	"repro/internal/sweep"
 )
 
@@ -33,6 +38,8 @@ func main() {
 		measure  = flag.Int64("measure", 4000, "measured cycles")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = no cache)")
+		jsonlOut = flag.String("jsonl", "", "stream per-point JSONL results to this file")
 		quiet    = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
@@ -69,15 +76,34 @@ func main() {
 		ls = append(ls, v)
 	}
 
-	opt := sweep.Options{Parallelism: *par}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opt := sweep.Options{Parallelism: *par, Context: ctx}
+	if *cacheDir != "" {
+		cache, err := exp.OpenCache(*cacheDir)
+		fatalIf(err)
+		opt.Cache = cache
+	}
+	if *jsonlOut != "" {
+		jf, err := os.Create(*jsonlOut)
+		fatalIf(err)
+		defer jf.Close()
+		opt.JSONL = jf
+	}
 	if !*quiet {
 		opt.Progress = func(series string, p sweep.Point) {
+			if p.Err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %-14s load=%.3f: %v\n", series, p.X, p.Err)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "done %-14s load=%.3f accepted=%.4f lat=%.1f\n",
 				series, p.X, p.Result.AcceptedLoad, p.Result.AvgTotalLatency)
 		}
 	}
-	series, err := sweep.LoadSweep(base, ms, ls, opt)
-	fatalIf(err)
+	series, sweepErr := sweep.LoadSweep(base, ms, ls, opt)
+	if series == nil {
+		fatalIf(sweepErr)
+	}
 
 	var m sweep.Metric
 	switch *metric {
@@ -98,6 +124,14 @@ func main() {
 	default:
 		fatalIf(fmt.Errorf("unknown format %q", *format))
 	}
+	if opt.Cache != nil {
+		hits, misses := opt.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", hits, misses)
+	}
+	// Per-point failures were reported by the progress callback as they
+	// happened; the joined error decides the exit code after the partial
+	// results have been written.
+	fatalIf(sweepErr)
 }
 
 func fatalIf(err error) {

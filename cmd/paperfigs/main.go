@@ -1,6 +1,8 @@
 // Command paperfigs regenerates the data behind every figure of the
 // paper's evaluation (Figures 4-11) plus Table I, writing one .dat file
-// per figure panel and a markdown summary.
+// per figure panel and a markdown summary. All points of a figure run
+// concurrently on internal/exp's worker pool; with -cache, an interrupted
+// or repeated regeneration re-simulates only the points it is missing.
 //
 // The paper's experiments run at h=8 (16,512 nodes); the default here is a
 // reduced h=4 network with the same structure so a full regeneration
@@ -9,18 +11,22 @@
 //
 // Usage:
 //
-//	paperfigs -out results [-h 4] [-figs 4,5,6,7,8,9,10,11]
+//	paperfigs -out results [-h 4] [-figs 4,5,6,7,8,9,10,11] [-cache dir]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
 	dragonfly "repro"
+	"repro/internal/exp"
 	"repro/internal/sweep"
 )
 
@@ -34,6 +40,10 @@ type env struct {
 	outDir   string
 	opt      sweep.Options
 	summary  *strings.Builder
+	// pointErrs collects per-point simulation failures across figures so
+	// one bad point aborts neither its figure nor the remaining ones;
+	// main reports them all and exits non-zero at the end.
+	pointErrs []error
 }
 
 func main() {
@@ -47,6 +57,8 @@ func main() {
 		burstVCT = flag.Int("burstvct", 200, "VCT burst packets/node (paper: 1000)")
 		burstWH  = flag.Int("burstwh", 20, "WH burst packets/node (paper: 89)")
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = no cache)")
+		jsonlOut = flag.String("jsonl", "", "stream per-point JSONL results to this file")
 		quiet    = flag.Bool("q", false, "suppress progress")
 	)
 	flag.Parse()
@@ -54,14 +66,32 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	e := &env{
 		h: *h, warmup: *warmup, measure: *measure, seed: *seed,
 		burstVCT: *burstVCT, burstWH: *burstWH, outDir: *out,
-		opt:     sweep.Options{Parallelism: *par},
+		opt:     sweep.Options{Parallelism: *par, Context: ctx},
 		summary: &strings.Builder{},
+	}
+	if *cacheDir != "" {
+		cache, err := exp.OpenCache(*cacheDir)
+		fatalIf(err)
+		e.opt.Cache = cache
+	}
+	if *jsonlOut != "" {
+		jf, err := os.Create(*jsonlOut)
+		fatalIf(err)
+		defer jf.Close()
+		e.opt.JSONL = jf
 	}
 	if !*quiet {
 		e.opt.Progress = func(series string, p sweep.Point) {
+			if p.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%s] FAIL %-18s x=%.3g: %v\n",
+					time.Now().Format("15:04:05"), series, p.X, p.Err)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "[%s] %-18s x=%.3g acc=%.4f lat=%.1f\n",
 				time.Now().Format("15:04:05"), series, p.X,
 				p.Result.AcceptedLoad, p.Result.AvgTotalLatency)
@@ -100,6 +130,28 @@ func main() {
 	sumPath := filepath.Join(*out, "summary.md")
 	fatalIf(os.WriteFile(sumPath, []byte(e.summary.String()), 0o644))
 	fmt.Println("summary written to", sumPath)
+	if e.opt.Cache != nil {
+		hits, misses := e.opt.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", hits, misses)
+	}
+	if len(e.pointErrs) > 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: %d point(s) failed:\n%v\n",
+			len(e.pointErrs), errors.Join(e.pointErrs...))
+		os.Exit(1)
+	}
+}
+
+// record notes a sweep's per-point failures (if any) and reports whether
+// the sweep was cut short by cancellation, which does abort the run.
+func (e *env) record(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	e.pointErrs = append(e.pointErrs, err)
+	return nil
 }
 
 // vctBase and whBase give the two experimental environments.
@@ -152,7 +204,7 @@ func (e *env) figs45() error {
 		base := e.vctBase()
 		base.Traffic = p.traffic
 		series, err := sweep.LoadSweep(base, p.mechs, p.loads, e.opt)
-		if err != nil {
+		if err = e.record(err); err != nil {
 			return err
 		}
 		if err := e.writePanel("fig4"+p.suffix, "Latency "+p.traffic.Name(e.h)+"/VCT",
@@ -173,7 +225,7 @@ func (e *env) fig6() error {
 	mechs := []dragonfly.Mechanism{dragonfly.PAR62, dragonfly.OLM, dragonfly.RLM, dragonfly.Piggybacking}
 	pcts := []float64{0, 20, 40, 60, 80, 100}
 	thr, err := sweep.MixSweep(e.vctBase(), mechs, pcts, 1.0, e.opt)
-	if err != nil {
+	if err = e.record(err); err != nil {
 		return err
 	}
 	if err := e.writePanel("fig6a", "Throughput, ADVG+h/ADVL+1 mix, VCT",
@@ -181,7 +233,7 @@ func (e *env) fig6() error {
 		return err
 	}
 	burst, err := sweep.BurstSweep(e.vctBase(), mechs, pcts, e.burstVCT, e.opt)
-	if err != nil {
+	if err = e.record(err); err != nil {
 		return err
 	}
 	if err := e.writePanel("fig6b",
@@ -212,7 +264,7 @@ func (e *env) figs78() error {
 		base := e.whBase()
 		base.Traffic = p.traffic
 		series, err := sweep.LoadSweep(base, p.mechs, p.loads, e.opt)
-		if err != nil {
+		if err = e.record(err); err != nil {
 			return err
 		}
 		if err := e.writePanel("fig7"+p.suffix, "Latency "+p.traffic.Name(e.h)+"/WH",
@@ -232,7 +284,7 @@ func (e *env) fig9() error {
 	mechs := []dragonfly.Mechanism{dragonfly.PAR62, dragonfly.RLM, dragonfly.Piggybacking}
 	pcts := []float64{0, 25, 50, 75, 100}
 	thr, err := sweep.MixSweep(e.whBase(), mechs, pcts, 1.0, e.opt)
-	if err != nil {
+	if err = e.record(err); err != nil {
 		return err
 	}
 	if err := e.writePanel("fig9a", "Throughput, ADVG+h/ADVL+1 mix, WH",
@@ -240,7 +292,7 @@ func (e *env) fig9() error {
 		return err
 	}
 	burst, err := sweep.BurstSweep(e.whBase(), mechs, pcts, e.burstWH, e.opt)
-	if err != nil {
+	if err = e.record(err); err != nil {
 		return err
 	}
 	if err := e.writePanel("fig9b",
@@ -266,7 +318,7 @@ func (e *env) fig1011(fig int) error {
 	}
 	ths := []float64{0.30, 0.40, 0.45, 0.50, 0.60}
 	series, err := sweep.ThresholdSweep(base, dragonfly.RLM, ths, loads, e.opt)
-	if err != nil {
+	if err = e.record(err); err != nil {
 		return err
 	}
 	name := fmt.Sprintf("fig%d", fig)

@@ -26,6 +26,7 @@
 package dragonfly
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -254,6 +255,62 @@ func (c Config) normalize() Config {
 	return c
 }
 
+// Canonical returns the configuration with every defaulted field filled
+// in, result-irrelevant fields zeroed, and the traffic description reduced
+// to its meaningful fields. Two configurations with equal Canonical()
+// values produce identical Results: Workers is cleared because the engine
+// is bit-identical for any worker count, Load is cleared for burst runs
+// (the burst process ignores it), and unused Traffic fields are dropped.
+// Result caches (internal/exp) hash the canonical form as their key.
+func (c Config) Canonical() Config {
+	c = c.normalize()
+	// Mirror the engine's and router core's own defaulting so that a
+	// zero field and its explicit default hash identically.
+	if c.Threshold <= 0 {
+		c.Threshold = 0.45
+	}
+	if c.PBThreshold <= 0 {
+		c.PBThreshold = 0.35
+	}
+	if c.RemoteCandidates == 0 {
+		c.RemoteCandidates = 2
+	}
+	if c.BufLocal == 0 {
+		c.BufLocal = 32
+	}
+	if c.BufGlobal == 0 {
+		c.BufGlobal = 256
+	}
+	if c.InjQueuePackets == 0 {
+		c.InjQueuePackets = 16
+	}
+	if c.LatLocal == 0 {
+		c.LatLocal = 10
+	}
+	if c.LatGlobal == 0 {
+		c.LatGlobal = 100
+	}
+	if c.Watchdog == 0 {
+		c.Watchdog = 20000
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 50 * (c.Warmup + c.Measure + 20000)
+	}
+	switch c.Traffic.Kind {
+	case UN:
+		c.Traffic = Traffic{Kind: UN}
+	case ADVG, ADVL:
+		c.Traffic = Traffic{Kind: c.Traffic.Kind, Offset: c.Traffic.offset()}
+	case MIX:
+		c.Traffic = Traffic{Kind: MIX, GlobalPercent: c.Traffic.GlobalPercent}
+	}
+	if c.BurstPackets > 0 {
+		c.Load = 0
+	}
+	c.Workers = 0
+	return c
+}
+
 // Build validates the configuration and assembles the simulator inputs.
 // Most callers use Run; Build is exposed for tools that need the topology.
 func (c Config) build() (engine.Config, *topology.P, error) {
@@ -350,7 +407,14 @@ func Prepare(c Config) (*Sim, error) {
 // Run executes the prepared simulation; like the package-level Run it can
 // be called once per Sim.
 func (s *Sim) Run() (Result, error) {
-	m, err := s.sim.Run()
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the engine polls ctx
+// every 1024 cycles and aborts the run with ctx's error, so campaign
+// drivers can stop a simulation mid-point.
+func (s *Sim) RunContext(ctx context.Context) (Result, error) {
+	m, err := s.sim.RunContext(ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -366,11 +430,16 @@ func (s *Sim) Cycles() int64 { return s.sim.Cycle() }
 // by the watchdog are reported via Result.Deadlock rather than an error so
 // sweeps can record them.
 func Run(c Config) (Result, error) {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext is Run with cooperative cancellation (see Sim.RunContext).
+func RunContext(ctx context.Context, c Config) (Result, error) {
 	s, err := Prepare(c)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }
 
 // NetworkSize returns (routers, nodes, groups) for a given h, for sizing

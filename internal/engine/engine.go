@@ -20,6 +20,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -30,6 +31,14 @@ import (
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
+
+// ResultsVersion identifies the simulation semantics of this engine build.
+// Result caches (internal/exp) key entries on it, so it MUST be bumped
+// whenever a change alters any metrics.Result field for some configuration
+// — and left alone for pure-performance changes that keep results
+// bit-identical (the activity-driven refactor, for example, did not bump
+// it).
+const ResultsVersion = 1
 
 // Config describes one simulation run.
 type Config struct {
@@ -341,6 +350,17 @@ func (s *Sim) resetSheets() {
 // returns the digested metrics. A deadlock detected by the watchdog is
 // reported through Result.Deadlock, not an error.
 func (s *Sim) Run() (metrics.Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// ctxCheckMask throttles cancellation polls to one every 1024 cycles, so
+// the check never shows up on the stepping profile.
+const ctxCheckMask = 1<<10 - 1
+
+// RunContext is Run with cooperative cancellation: the stepping loop polls
+// ctx every 1024 cycles and aborts with ctx's error, so an orchestrator
+// can stop a campaign mid-point.
+func (s *Sim) RunContext(ctx context.Context) (metrics.Result, error) {
 	if s.ran {
 		return metrics.Result{}, fmt.Errorf("engine: Sim.Run called twice")
 	}
@@ -353,11 +373,15 @@ func (s *Sim) Run() (metrics.Result, error) {
 		defer stop()
 	}
 
-	deadlock := false
+	var deadlock bool
+	var err error
 	if s.process.Finite() {
-		deadlock = s.runBurst(step)
+		deadlock, err = s.runBurst(ctx, step)
 	} else {
-		deadlock = s.runSteady(step)
+		deadlock, err = s.runSteady(ctx, step)
+	}
+	if err != nil {
+		return metrics.Result{}, err
 	}
 
 	var sheet metrics.Sheet
@@ -382,11 +406,16 @@ func (s *Sim) Run() (metrics.Result, error) {
 }
 
 // runSteady runs warmup then measurement, returning true on deadlock.
-func (s *Sim) runSteady(step func()) bool {
+func (s *Sim) runSteady(ctx context.Context, step func()) (bool, error) {
 	var lastMoved int64
 	quiet := int64(0)
 	total := s.cfg.Warmup + s.cfg.Measure
 	for s.cycle < total {
+		if s.cycle&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, fmt.Errorf("engine: canceled at cycle %d: %w", s.cycle, err)
+			}
+		}
 		if s.cycle == s.cfg.Warmup {
 			s.resetSheets()
 		}
@@ -395,40 +424,45 @@ func (s *Sim) runSteady(step func()) bool {
 		if moved == lastMoved && live > 0 {
 			quiet++
 			if quiet >= s.cfg.Watchdog {
-				return true
+				return true, nil
 			}
 		} else {
 			quiet = 0
 		}
 		lastMoved = moved
 	}
-	return false
+	return false, nil
 }
 
 // runBurst runs a finite process until every packet drained, returning
 // true on deadlock (or on exceeding MaxCycles, which is reported the same
 // way since the network failed to drain).
-func (s *Sim) runBurst(step func()) bool {
+func (s *Sim) runBurst(ctx context.Context, step func()) (bool, error) {
 	target := s.process.Total()
 	var lastMoved int64
 	quiet := int64(0)
 	for s.cycle < s.cfg.MaxCycles {
+		if s.cycle&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, fmt.Errorf("engine: canceled at cycle %d: %w", s.cycle, err)
+			}
+		}
 		step()
 		moved, live, generated := s.totals()
 		if generated >= target && live == 0 {
-			return false
+			return false, nil
 		}
 		if moved == lastMoved && live > 0 {
 			quiet++
 			if quiet >= s.cfg.Watchdog {
-				return true
+				return true, nil
 			}
 		} else {
 			quiet = 0
 		}
 		lastMoved = moved
 	}
-	return true
+	return true, nil
 }
 
 // shardBounds partitions the routers into n contiguous shards. When

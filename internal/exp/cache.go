@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	dragonfly "repro"
+	"repro/internal/engine"
+)
+
+// Cache is a content-addressed store of simulation results on disk: one
+// JSON file per point, named by the SHA-256 of the canonicalized
+// configuration and the engine's results version. Because the engine is
+// deterministic, the canonical config fully determines the result, so a
+// hit is always safe to reuse — across campaign runs, across tools, and
+// across worker counts (Config.Canonical clears Workers). Bumping
+// engine.ResultsVersion invalidates every entry at once.
+//
+// Entries are written atomically (temp file + rename), so concurrent
+// campaigns sharing a directory at worst duplicate work, never corrupt
+// entries; unreadable or stale-format entries count as misses and are
+// overwritten.
+type Cache struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// cacheFormat versions the entry file layout itself (not the simulation
+// semantics — that is engine.ResultsVersion's job).
+const cacheFormat = 1
+
+// entry is the on-disk layout. Config is stored canonicalized, purely for
+// human inspection of a cache directory; only Result is read back.
+type entry struct {
+	Format        int              `json:"format"`
+	EngineVersion int              `json:"engine_version"`
+	Config        dragonfly.Config `json:"config"`
+	Result        dragonfly.Result `json:"result"`
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Key returns the content address of a configuration: the hex SHA-256 of
+// its canonical JSON together with the engine results version.
+func (c *Cache) Key(cfg dragonfly.Config) string {
+	canon, err := json.Marshal(cfg.Canonical())
+	if err != nil {
+		// Config is a flat struct of scalars; Marshal cannot fail on it.
+		panic(fmt.Sprintf("exp: marshal config: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "dragonfly-exp-cache/%d engine/%d\n", cacheFormat, engine.ResultsVersion)
+	h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get looks a key up, counting the hit or miss.
+func (c *Cache) Get(key string) (dragonfly.Result, bool) {
+	buf, err := os.ReadFile(c.path(key))
+	if err == nil {
+		var e entry
+		if json.Unmarshal(buf, &e) == nil &&
+			e.Format == cacheFormat && e.EngineVersion == engine.ResultsVersion {
+			c.hits.Add(1)
+			return e.Result, true
+		}
+	}
+	c.misses.Add(1)
+	return dragonfly.Result{}, false
+}
+
+// Put stores a result under key, atomically.
+func (c *Cache) Put(key string, cfg dragonfly.Config, res dragonfly.Result) error {
+	buf, err := json.MarshalIndent(entry{
+		Format:        cacheFormat,
+		EngineVersion: engine.ResultsVersion,
+		Config:        cfg.Canonical(),
+		Result:        res,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("exp: encode cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("exp: write cache entry: %w", err)
+	}
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: write cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: write cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: write cache entry: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the lookups served from the cache and the lookups that
+// missed since the Cache was opened.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	dragonfly "repro"
+)
+
+// countingOptions wraps opt so the test can count actual simulations.
+func countingRun(n *atomic.Int64) func(context.Context, int, Point) (dragonfly.Result, error) {
+	return func(ctx context.Context, _ int, p Point) (dragonfly.Result, error) {
+		n.Add(1)
+		return dragonfly.RunContext(ctx, p.Config)
+	}
+}
+
+// TestCacheWarmRerunExecutesZeroSims is the cache acceptance check: a
+// repeated campaign with a warm cache completes without simulating.
+func TestCacheWarmRerunExecutesZeroSims(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := tinyCampaign()
+
+	var sims atomic.Int64
+	cold, err := Run(context.Background(), camp, Options{Workers: 2, Cache: cache, Run: countingRun(&sims)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sims.Load(); got != int64(len(camp.Points)) {
+		t.Fatalf("cold run executed %d sims, want %d", got, len(camp.Points))
+	}
+	if hits, misses := cache.Stats(); hits != 0 || misses != int64(len(camp.Points)) {
+		t.Fatalf("cold stats: %d hits, %d misses", hits, misses)
+	}
+
+	sims.Store(0)
+	warm, err := Run(context.Background(), camp, Options{Workers: 2, Cache: cache, Run: countingRun(&sims)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sims.Load(); got != 0 {
+		t.Fatalf("warm run executed %d sims, want 0", got)
+	}
+	for i := range warm {
+		if !warm[i].Cached {
+			t.Fatalf("point %d not served from cache", i)
+		}
+		if !reflect.DeepEqual(warm[i].Result, cold[i].Result) {
+			t.Fatalf("point %d cached result differs:\ncold: %+v\nwarm: %+v", i, cold[i].Result, warm[i].Result)
+		}
+	}
+}
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	cache := &Cache{}
+	zero := dragonfly.Config{H: 4, Load: 0.5}
+	explicit := zero
+	// Spell out every default the zero config implies.
+	explicit.PacketPhits = 8
+	explicit.Warmup, explicit.Measure = 3000, 6000
+	explicit.Threshold, explicit.PBThreshold = 0.45, 0.35
+	explicit.RemoteCandidates = 2
+	explicit.BufLocal, explicit.BufGlobal = 32, 256
+	explicit.InjQueuePackets = 16
+	explicit.LatLocal, explicit.LatGlobal = 10, 100
+	explicit.Watchdog = 20000
+	explicit.MaxCycles = 50 * (3000 + 6000 + 20000)
+	explicit.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
+	if cache.Key(zero) != cache.Key(explicit) {
+		t.Fatal("zero config and its explicit defaults hash differently")
+	}
+
+	// Worker count never changes results, so it must not change the key.
+	workers := zero
+	workers.Workers = 8
+	if cache.Key(zero) != cache.Key(workers) {
+		t.Fatal("worker count leaked into the cache key")
+	}
+
+	// The seed does change results.
+	seeded := zero
+	seeded.Seed = 3
+	if cache.Key(zero) == cache.Key(seeded) {
+		t.Fatal("seed not part of the cache key")
+	}
+
+	// ADVG offset 0 means offset 1.
+	a, b := zero, zero
+	a.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG}
+	b.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}
+	if cache.Key(a) != cache.Key(b) {
+		t.Fatal("default ADVG offset hashes differently from explicit +1")
+	}
+
+	// A burst run ignores Load entirely.
+	c, d := zero, zero
+	c.BurstPackets, c.Load = 10, 0.2
+	d.BurstPackets, d.Load = 10, 0.9
+	if cache.Key(c) != cache.Key(d) {
+		t.Fatal("irrelevant Load leaked into a burst cache key")
+	}
+}
+
+func TestCacheCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyBase()
+	cfg.Mechanism = dragonfly.Minimal
+	cfg.Load = 0.2
+	key := cache.Key(cfg)
+
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("corrupt entry reported a hit")
+	}
+
+	want := dragonfly.Result{Mechanism: "Minimal", Delivered: 42}
+	if err := cache.Put(key, cfg, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Get(key)
+	if !ok || got.Delivered != 42 {
+		t.Fatalf("after Put: ok=%v result=%+v", ok, got)
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 2 {
+		t.Fatalf("stats: %d hits, %d misses", hits, misses)
+	}
+}

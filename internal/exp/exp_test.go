@@ -1,0 +1,285 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	dragonfly "repro"
+)
+
+// tinyBase is a fast h=2 environment.
+func tinyBase() dragonfly.Config {
+	cfg := dragonfly.PaperVCT(2)
+	cfg.LatLocal, cfg.LatGlobal = 4, 16
+	cfg.Warmup, cfg.Measure = 400, 800
+	cfg.Seed = 7
+	return cfg
+}
+
+// tinyCampaign is a small mechanisms×loads matrix, VCT and WH.
+func tinyCampaign() Campaign {
+	var pts []Point
+	for _, flow := range []dragonfly.FlowControl{dragonfly.VCT, dragonfly.WH} {
+		base := tinyBase()
+		base.FlowControl = flow
+		if flow == dragonfly.WH {
+			base.PacketPhits = 40
+		}
+		pts = append(pts, NewMatrix(base).
+			Mechanisms(dragonfly.Minimal, dragonfly.RLM).
+			Loads(0.1, 0.4).
+			Points()...)
+	}
+	return Campaign{Name: "tiny", Points: pts}
+}
+
+func TestMatrixShapesAndOrder(t *testing.T) {
+	pts := NewMatrix(tinyBase()).
+		Mechanisms(dragonfly.Minimal, dragonfly.RLM).
+		Loads(0.1, 0.3).
+		Points()
+	if len(pts) != 4 {
+		t.Fatalf("%d points, want 4", len(pts))
+	}
+	// Series-major: all loads of Minimal first, the layout sweep relies on.
+	want := []struct {
+		series string
+		x      float64
+	}{
+		{"Minimal", 0.1}, {"Minimal", 0.3}, {"RLM", 0.1}, {"RLM", 0.3},
+	}
+	for i, w := range want {
+		if pts[i].Series != w.series || pts[i].X != w.x {
+			t.Fatalf("point %d = (%q, %v), want (%q, %v)", i, pts[i].Series, pts[i].X, w.series, w.x)
+		}
+	}
+	if pts[2].Config.Mechanism != dragonfly.RLM || pts[2].Config.Load != 0.1 {
+		t.Fatalf("point 2 config not specialized: %+v", pts[2].Config)
+	}
+	if pts[0].Config.H != 2 {
+		t.Fatalf("base config lost: H=%d", pts[0].Config.H)
+	}
+}
+
+func TestMatrixFilter(t *testing.T) {
+	pts := NewMatrix(tinyBase()).
+		Mechanisms(dragonfly.Minimal, dragonfly.OLM).
+		Flows(dragonfly.VCT, dragonfly.WH).
+		Filter(func(c dragonfly.Config) bool {
+			return !(c.Mechanism.RequiresVCT() && c.FlowControl == dragonfly.WH)
+		}).
+		Points()
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3 (OLM/WH filtered)", len(pts))
+	}
+	for _, p := range pts {
+		if p.Config.Mechanism.RequiresVCT() && p.Config.FlowControl == dragonfly.WH {
+			t.Fatalf("filtered combination survived: %s", p.Series)
+		}
+	}
+}
+
+// TestDeterminismAcrossWorkers is the tentpole acceptance check: the same
+// campaign run serially and on a wide pool must produce byte-identical
+// per-point results.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	camp := tinyCampaign()
+	serial, err := Run(context.Background(), camp, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), camp, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) || len(serial) != len(camp.Points) {
+		t.Fatalf("outcome counts: %d serial, %d parallel, %d points", len(serial), len(parallel), len(camp.Points))
+	}
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("point %d errors: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Result.Delivered == 0 {
+			t.Fatalf("point %d delivered nothing", i)
+		}
+		if !reflect.DeepEqual(serial[i].Result, parallel[i].Result) {
+			t.Fatalf("point %d (%s x=%g) diverges across pool sizes:\nserial:   %+v\nparallel: %+v",
+				i, serial[i].Point.Series, serial[i].Point.X, serial[i].Result, parallel[i].Result)
+		}
+	}
+}
+
+func TestPerPointSeeding(t *testing.T) {
+	camp := Campaign{Points: NewMatrix(tinyBase()).
+		Mechanisms(dragonfly.Minimal).
+		Loads(0.2, 0.2). // identical configs: only the derived seed differs
+		Points()}
+	outs, err := Run(context.Background(), camp, Options{SeedBase: 99, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Point.Config.Seed == outs[1].Point.Config.Seed {
+		t.Fatal("per-point seeds collide")
+	}
+	if outs[0].Point.Config.Seed != PointSeed(99, 0) {
+		t.Fatal("seed not derived from SeedBase and index")
+	}
+	if reflect.DeepEqual(outs[0].Result, outs[1].Result) {
+		t.Fatal("different seeds produced identical results")
+	}
+	// Re-running derives the same seeds, hence the same results.
+	again, err := Run(context.Background(), camp, Options{SeedBase: 99, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if !reflect.DeepEqual(outs[i].Result, again[i].Result) {
+			t.Fatalf("point %d not reproducible under SeedBase", i)
+		}
+	}
+}
+
+func TestPerPointErrorsDoNotAbortCampaign(t *testing.T) {
+	bad := tinyBase()
+	bad.Mechanism = dragonfly.OLM
+	bad.FlowControl = dragonfly.WH // engine rejects: OLM requires VCT
+	bad.PacketPhits = 40
+	good := tinyBase()
+	good.Mechanism = dragonfly.Minimal
+	good.Load = 0.2
+	camp := Campaign{Points: []Point{
+		{Series: "bad", Config: bad},
+		{Series: "good", X: 0.2, Config: good},
+	}}
+	outs, err := Run(context.Background(), camp, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("campaign-level error for a per-point failure: %v", err)
+	}
+	if outs[0].Err == nil {
+		t.Fatal("invalid point reported no error")
+	}
+	if outs[1].Err != nil || outs[1].Result.Delivered == 0 {
+		t.Fatalf("good point poisoned: %v", outs[1].Err)
+	}
+	joined := PointErrors(outs)
+	if joined == nil || !strings.Contains(joined.Error(), "bad") {
+		t.Fatalf("PointErrors = %v", joined)
+	}
+}
+
+func TestProgressAndJSONL(t *testing.T) {
+	camp := tinyCampaign()
+	var events []Progress
+	var buf bytes.Buffer
+	outs, err := Run(context.Background(), camp, Options{
+		Workers:  3,
+		JSONL:    &buf,
+		Progress: func(p Progress) { events = append(events, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(camp.Points) {
+		t.Fatalf("%d progress events, want %d", len(events), len(camp.Points))
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(camp.Points) {
+			t.Fatalf("event %d: done=%d total=%d", i, ev.Done, ev.Total)
+		}
+	}
+	seen := map[int]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		if rec.Result == nil || rec.Result.Delivered == 0 {
+			t.Fatalf("record %d has no result", rec.Index)
+		}
+		if rec.Config.H != 2 {
+			t.Fatalf("record %d lost its config", rec.Index)
+		}
+		seen[rec.Index] = true
+	}
+	if len(seen) != len(outs) {
+		t.Fatalf("JSONL covered %d of %d points", len(seen), len(outs))
+	}
+}
+
+func TestCancellationMidPoint(t *testing.T) {
+	// One enormous point: cancellation must abort it mid-simulation, well
+	// before the nominal run length.
+	big := tinyBase()
+	big.Mechanism = dragonfly.Minimal
+	big.Load = 0.3
+	big.Warmup, big.Measure = 0, 1<<40
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	outs, err := Run(ctx, Campaign{Points: []Point{{Series: "big", Config: big}}}, Options{Workers: 1})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %s", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign error = %v, want context.Canceled", err)
+	}
+	if !errors.Is(outs[0].Err, context.Canceled) {
+		t.Fatalf("point error = %v, want context.Canceled", outs[0].Err)
+	}
+}
+
+func TestCancellationSkipsQueuedPoints(t *testing.T) {
+	camp := tinyCampaign()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	outs, err := Run(ctx, camp, Options{
+		Workers: 1,
+		Run: func(ctx context.Context, _ int, p Point) (dragonfly.Result, error) {
+			if ran.Add(1) == 1 {
+				cancel() // cancel while the first point is "running"
+			}
+			return dragonfly.Result{Delivered: 1}, nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign error = %v", err)
+	}
+	if got := ran.Load(); got >= int64(len(camp.Points)) {
+		t.Fatalf("all %d points ran despite cancellation", got)
+	}
+	canceled := 0
+	for _, o := range outs {
+		if errors.Is(o.Err, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no queued point carries the cancellation error")
+	}
+}
+
+func TestPointSeedSpread(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := PointSeed(1, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if PointSeed(1, 0) == PointSeed(2, 0) {
+		t.Fatal("bases collide")
+	}
+}

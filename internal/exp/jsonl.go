@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	dragonfly "repro"
+)
+
+// Record is the JSONL line emitted per finished point. Lines stream in
+// completion order (Index recovers campaign order) and each line is
+// self-contained — config included — so a .jsonl file fully describes a
+// campaign and can be filtered, resumed from, or re-plotted on its own.
+type Record struct {
+	Index   int               `json:"index"`
+	Series  string            `json:"series"`
+	X       float64           `json:"x"`
+	Cached  bool              `json:"cached,omitempty"`
+	Seconds float64           `json:"seconds"`
+	Error   string            `json:"error,omitempty"`
+	Config  dragonfly.Config  `json:"config"`
+	Result  *dragonfly.Result `json:"result,omitempty"`
+}
+
+// writeRecord emits one outcome as a JSON line.
+func writeRecord(w io.Writer, o *Outcome) error {
+	rec := Record{
+		Index:   o.Index,
+		Series:  o.Point.Series,
+		X:       o.Point.X,
+		Cached:  o.Cached,
+		Seconds: o.Seconds,
+		Config:  o.Point.Config,
+	}
+	if o.Err != nil {
+		rec.Error = o.Err.Error()
+	} else {
+		rec.Result = &o.Result
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("exp: encode jsonl record: %w", err)
+	}
+	if _, err := w.Write(append(buf, '\n')); err != nil {
+		return fmt.Errorf("exp: write jsonl record: %w", err)
+	}
+	return nil
+}

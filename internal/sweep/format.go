@@ -33,8 +33,13 @@ func (m Metric) String() string {
 	return "unknown"
 }
 
-// value extracts the metric from one point.
+// value extracts the metric from one point. A failed point yields NaN,
+// never a plausible-looking zero: gnuplot treats NaN as missing data, so
+// a .dat file re-plotted long after the run still shows the gap.
 func (m Metric) value(p Point) float64 {
+	if p.Err != nil {
+		return math.NaN()
+	}
 	switch m {
 	case AcceptedLoad:
 		return p.Result.AcceptedLoad
@@ -87,15 +92,15 @@ func WriteMarkdown(w io.Writer, xLabel string, metric Metric, series []Series) e
 	for i := range series[0].Points {
 		fmt.Fprintf(&b, "| %g |", series[0].Points[i].X)
 		for _, s := range series {
-			if i < len(s.Points) {
-				v := metric.value(s.Points[i])
-				if s.Points[i].Result.Deadlock {
-					fmt.Fprintf(&b, " %.4g (deadlock!) |", v)
-				} else {
-					fmt.Fprintf(&b, " %.4g |", v)
-				}
-			} else {
+			switch {
+			case i >= len(s.Points):
 				b.WriteString(" - |")
+			case s.Points[i].Err != nil:
+				b.WriteString(" error |")
+			case s.Points[i].Result.Deadlock:
+				fmt.Fprintf(&b, " %.4g (deadlock!) |", metric.value(s.Points[i]))
+			default:
+				fmt.Fprintf(&b, " %.4g |", metric.value(s.Points[i]))
 			}
 		}
 		b.WriteString("\n")

@@ -1,16 +1,20 @@
-// Package sweep drives the paper's experiments: offered-load sweeps
-// (Figures 4, 5, 7, 8 and 10, 11), traffic-mix sweeps (Figures 6a, 9a) and
-// burst-consumption experiments (Figures 6b, 9b). Points of a sweep run
-// concurrently on a bounded worker pool; each point is an independent,
-// deterministic simulation.
+// Package sweep builds the point lists behind the paper's experiments:
+// offered-load sweeps (Figures 4, 5, 7, 8 and 10, 11), traffic-mix sweeps
+// (Figures 6a, 9a) and burst-consumption experiments (Figures 6b, 9b).
+// The sweep functions compose the campaign via internal/exp's matrix
+// builder, execute it on exp's bounded worker pool — inheriting its
+// cancellation, caching and JSONL streaming — and fold the outcomes back
+// into per-mechanism Series for the figure renderers in format.go.
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
+	"io"
 
 	dragonfly "repro"
+	"repro/internal/exp"
 )
 
 // Point is one simulated configuration together with its x-axis value.
@@ -33,43 +37,64 @@ type Options struct {
 	Parallelism int
 	// Progress, when non-nil, receives a line per finished point.
 	Progress func(series string, p Point)
+	// Context, when non-nil, cancels the sweep: in-flight simulations
+	// abort at their next cycle check, unstarted points record the
+	// context's error.
+	Context context.Context
+	// Cache, when non-nil, serves repeated points without simulating.
+	Cache *exp.Cache
+	// JSONL, when non-nil, receives one JSON line per finished point.
+	JSONL io.Writer
 }
 
-func (o Options) parallelism() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
+// exec runs the campaign and folds the outcomes into series. The campaign
+// must be series-major: len(series)*pointsPer points, the outcomes of
+// series si occupying indices [si*pointsPer, (si+1)*pointsPer) — the
+// layout exp.Matrix generates when the series axes precede the x axis.
+// The returned error joins every per-point failure; the series are
+// complete (failed points carry their error) even when it is non-nil.
+func exec(camp exp.Campaign, series []Series, pointsPer int, opt Options) ([]Series, error) {
+	eopt := exp.Options{
+		Workers: opt.Parallelism,
+		Cache:   opt.Cache,
+		JSONL:   opt.JSONL,
 	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// job couples a pending point with its slot in the output.
-type job struct {
-	series string
-	x      float64
-	cfg    dragonfly.Config
-	out    *Point
-}
-
-// runJobs executes all jobs on the pool.
-func runJobs(jobs []job, opt Options) {
-	sem := make(chan struct{}, opt.parallelism())
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(j *job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := dragonfly.Run(j.cfg)
-			j.out.X = j.x
-			j.out.Result = res
-			j.out.Err = err
-			if opt.Progress != nil {
-				opt.Progress(j.series, *j.out)
-			}
-		}(&jobs[i])
+	if opt.Progress != nil {
+		eopt.Progress = func(pr exp.Progress) {
+			o := pr.Outcome
+			opt.Progress(o.Point.Series, Point{X: o.Point.X, Result: o.Result, Err: o.Err})
+		}
 	}
-	wg.Wait()
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outs, runErr := exp.Run(ctx, camp, eopt)
+	for _, o := range outs {
+		si, pi := o.Index/pointsPer, o.Index%pointsPer
+		series[si].Points[pi] = Point{X: o.Point.X, Result: o.Result, Err: o.Err}
+	}
+	if err := errors.Join(runErr, exp.PointErrors(outs)); err != nil {
+		return series, fmt.Errorf("sweep: %w", err)
+	}
+	return series, nil
+}
+
+// newSeries allocates one empty curve per name, pointsPer points each.
+func newSeries(names []string, pointsPer int) []Series {
+	series := make([]Series, len(names))
+	for i, name := range names {
+		series[i] = Series{Name: name, Points: make([]Point, pointsPer)}
+	}
+	return series
+}
+
+func mechNames(mechanisms []dragonfly.Mechanism) []string {
+	names := make([]string, len(mechanisms))
+	for i, m := range mechanisms {
+		names[i] = m.String()
+	}
+	return names
 }
 
 // LoadSweep sweeps offered load for each mechanism over the base
@@ -80,23 +105,11 @@ func LoadSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, loads []
 	if len(mechanisms) == 0 || len(loads) == 0 {
 		return nil, fmt.Errorf("sweep: empty mechanism or load list")
 	}
-	series := make([]Series, len(mechanisms))
-	var jobs []job
-	for mi, m := range mechanisms {
-		series[mi] = Series{Name: m.String(), Points: make([]Point, len(loads))}
-		for li, load := range loads {
-			cfg := base
-			cfg.Mechanism = m
-			cfg.Load = load
-			cfg.BurstPackets = 0
-			jobs = append(jobs, job{
-				series: series[mi].Name, x: load, cfg: cfg,
-				out: &series[mi].Points[li],
-			})
-		}
-	}
-	runJobs(jobs, opt)
-	return series, firstErr(series)
+	camp := exp.NewMatrix(base).
+		Mechanisms(mechanisms...).
+		Loads(loads...).
+		Campaign("load-sweep")
+	return exec(camp, newSeries(mechNames(mechanisms), len(loads)), len(loads), opt)
 }
 
 // MixSweep sweeps the ADVG+h / ADVL+1 traffic mix at fixed offered load
@@ -105,24 +118,13 @@ func MixSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, percents 
 	if len(mechanisms) == 0 || len(percents) == 0 {
 		return nil, fmt.Errorf("sweep: empty mechanism or percent list")
 	}
-	series := make([]Series, len(mechanisms))
-	var jobs []job
-	for mi, m := range mechanisms {
-		series[mi] = Series{Name: m.String(), Points: make([]Point, len(percents))}
-		for pi, pct := range percents {
-			cfg := base
-			cfg.Mechanism = m
-			cfg.Load = load
-			cfg.BurstPackets = 0
-			cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: pct}
-			jobs = append(jobs, job{
-				series: series[mi].Name, x: pct, cfg: cfg,
-				out: &series[mi].Points[pi],
-			})
-		}
-	}
-	runJobs(jobs, opt)
-	return series, firstErr(series)
+	base.Load = load
+	base.BurstPackets = 0
+	camp := exp.NewMatrix(base).
+		Mechanisms(mechanisms...).
+		GlobalPercents(percents...).
+		Campaign("mix-sweep")
+	return exec(camp, newSeries(mechNames(mechanisms), len(percents)), len(percents), opt)
 }
 
 // BurstSweep runs the burst-consumption experiment over the traffic mix:
@@ -132,23 +134,12 @@ func BurstSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, percent
 	if packetsPerNode <= 0 {
 		return nil, fmt.Errorf("sweep: burst needs packetsPerNode > 0")
 	}
-	series := make([]Series, len(mechanisms))
-	var jobs []job
-	for mi, m := range mechanisms {
-		series[mi] = Series{Name: m.String(), Points: make([]Point, len(percents))}
-		for pi, pct := range percents {
-			cfg := base
-			cfg.Mechanism = m
-			cfg.BurstPackets = packetsPerNode
-			cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: pct}
-			jobs = append(jobs, job{
-				series: series[mi].Name, x: pct, cfg: cfg,
-				out: &series[mi].Points[pi],
-			})
-		}
-	}
-	runJobs(jobs, opt)
-	return series, firstErr(series)
+	base.BurstPackets = packetsPerNode
+	camp := exp.NewMatrix(base).
+		Mechanisms(mechanisms...).
+		GlobalPercents(percents...).
+		Campaign("burst-sweep")
+	return exec(camp, newSeries(mechNames(mechanisms), len(percents)), len(percents), opt)
 }
 
 // ThresholdSweep sweeps the misrouting threshold for one mechanism over
@@ -157,38 +148,18 @@ func ThresholdSweep(base dragonfly.Config, mechanism dragonfly.Mechanism, thresh
 	if len(thresholds) == 0 || len(loads) == 0 {
 		return nil, fmt.Errorf("sweep: empty threshold or load list")
 	}
-	series := make([]Series, len(thresholds))
-	var jobs []job
-	for ti, th := range thresholds {
-		series[ti] = Series{
-			Name:   fmt.Sprintf("%s th=%.0f%%", mechanism, th*100),
-			Points: make([]Point, len(loads)),
-		}
-		for li, load := range loads {
-			cfg := base
-			cfg.Mechanism = mechanism
-			cfg.Threshold = th
-			cfg.Load = load
-			cfg.BurstPackets = 0
-			jobs = append(jobs, job{
-				series: series[ti].Name, x: load, cfg: cfg,
-				out: &series[ti].Points[li],
-			})
-		}
+	base.Mechanism = mechanism
+	names := make([]string, len(thresholds))
+	for i, th := range thresholds {
+		names[i] = fmt.Sprintf("%s th=%.0f%%", mechanism, th*100)
 	}
-	runJobs(jobs, opt)
-	return series, firstErr(series)
-}
-
-func firstErr(series []Series) error {
-	for _, s := range series {
-		for _, p := range s.Points {
-			if p.Err != nil {
-				return fmt.Errorf("sweep: %s x=%v: %w", s.Name, p.X, p.Err)
-			}
-		}
-	}
-	return nil
+	camp := exp.NewMatrix(base).
+		Axis(len(thresholds),
+			func(i int) string { return names[i] },
+			func(c *dragonfly.Config, i int) { c.Threshold = thresholds[i] }).
+		Loads(loads...).
+		Campaign("threshold-sweep")
+	return exec(camp, newSeries(names, len(loads)), len(loads), opt)
 }
 
 // Loads returns an evenly spaced load grid [from, to] with n points,

@@ -1,11 +1,15 @@
 package sweep
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
 	dragonfly "repro"
+	"repro/internal/exp"
 )
 
 func tinyBase() dragonfly.Config {
@@ -121,49 +125,60 @@ func TestLoadsGrid(t *testing.T) {
 	}
 }
 
-func TestWriteDATAndMarkdown(t *testing.T) {
-	series := []Series{{
-		Name: "RLM",
-		Points: []Point{
-			{X: 0.1, Result: dragonfly.Result{AcceptedLoad: 0.1, AvgTotalLatency: 120}},
-			{X: 0.2, Result: dragonfly.Result{AcceptedLoad: 0.19, AvgTotalLatency: 130}},
-		},
-	}}
-	var dat strings.Builder
-	if err := WriteDAT(&dat, "Offered load", AcceptedLoad, series); err != nil {
-		t.Fatal(err)
+// TestPerPointErrorSurfacing checks the orchestrator-backed sweep keeps
+// going past a failing point: the returned series are complete, the bad
+// point carries its error, and the sweep error names it.
+func TestPerPointErrorSurfacing(t *testing.T) {
+	base := tinyBase()
+	base.FlowControl = dragonfly.WH
+	base.PacketPhits = 40
+	// OLM requires VCT, so its points fail while RLM's succeed.
+	series, err := LoadSweep(base,
+		[]dragonfly.Mechanism{dragonfly.OLM, dragonfly.RLM},
+		[]float64{0.1}, Options{Parallelism: 2})
+	if err == nil || !strings.Contains(err.Error(), "OLM") {
+		t.Fatalf("sweep error %v does not name the failing series", err)
 	}
-	for _, want := range []string{"# series: RLM", "0.1\t0.1", "0.2\t0.19"} {
-		if !strings.Contains(dat.String(), want) {
-			t.Fatalf("DAT output missing %q:\n%s", want, dat.String())
-		}
+	if series[0].Points[0].Err == nil {
+		t.Fatal("failing point has no per-point error")
 	}
-	var md strings.Builder
-	if err := WriteMarkdown(&md, "load", TotalLatency, series); err != nil {
-		t.Fatal(err)
-	}
-	for _, want := range []string{"| load | RLM |", "| 0.1 | 120 |"} {
-		if !strings.Contains(md.String(), want) {
-			t.Fatalf("markdown missing %q:\n%s", want, md.String())
-		}
+	if series[1].Points[0].Err != nil || series[1].Points[0].Result.Delivered == 0 {
+		t.Fatalf("healthy series poisoned: %+v", series[1].Points[0])
 	}
 }
 
-func TestSaturation(t *testing.T) {
-	s := Series{Points: []Point{
-		{Result: dragonfly.Result{AcceptedLoad: 0.2}},
-		{Result: dragonfly.Result{AcceptedLoad: 0.45}},
-		{Result: dragonfly.Result{AcceptedLoad: 0.41}},
-	}}
-	if got := Saturation(s); got != 0.45 {
-		t.Fatalf("saturation %v", got)
+func TestSweepUsesCache(t *testing.T) {
+	cache, err := exp.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Parallelism: 2, Cache: cache}
+	first, err := LoadSweep(tinyBase(), []dragonfly.Mechanism{dragonfly.Minimal}, []float64{0.1, 0.3}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := LoadSweep(tinyBase(), []dragonfly.Mechanism{dragonfly.Minimal}, []float64{0.1, 0.3}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := cache.Stats()
+	if hits != 2 {
+		t.Fatalf("%d cache hits on the repeated sweep, want 2", hits)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached sweep differs from the original")
 	}
 }
 
-func TestMetricStrings(t *testing.T) {
-	for _, m := range []Metric{AcceptedLoad, TotalLatency, NetworkLatency, ConsumptionTime} {
-		if m.String() == "unknown" {
-			t.Fatalf("metric %d has no name", m)
-		}
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	series, err := LoadSweep(tinyBase(), []dragonfly.Mechanism{dragonfly.Minimal},
+		[]float64{0.1}, Options{Context: ctx})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep error = %v", err)
+	}
+	if series[0].Points[0].Err == nil {
+		t.Fatal("canceled point has no error")
 	}
 }
