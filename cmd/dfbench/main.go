@@ -34,6 +34,7 @@ import (
 	"time"
 
 	dragonfly "repro"
+	"repro/internal/cliutil"
 	"repro/internal/exp"
 )
 
@@ -123,7 +124,7 @@ func main() {
 		Mechanisms(mechs...).
 		Axis(len(patterns),
 			func(i int) string {
-				return fmt.Sprintf("%s/%.2f", patterns[i].tr.Name(0), patterns[i].load)
+				return fmt.Sprintf("%s/%.2f", cliutil.TrafficName(patterns[i].tr, 0), patterns[i].load)
 			},
 			func(c *dragonfly.Config, i int) {
 				c.Traffic = patterns[i].tr

@@ -16,31 +16,31 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 
 	dragonfly "repro"
+	"repro/internal/cliutil"
 	"repro/internal/exp"
 	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		h        = flag.Int("h", 4, "dragonfly parameter")
-		mechs    = flag.String("mechs", "Minimal,PiggyBacking,PAR-6/2,RLM,OLM", "comma-separated mechanisms")
-		flow     = flag.String("flow", "VCT", "flow control: VCT or WH")
-		trafficK = flag.String("traffic", "UN", "traffic pattern: UN, ADVG, ADVL")
-		offset   = flag.Int("offset", 1, "ADVG/ADVL offset")
-		loads    = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.8,1.0", "comma-separated offered loads")
-		metric   = flag.String("metric", "accepted", "metric: accepted, latency, netlatency")
-		format   = flag.String("format", "dat", "output format: dat or md")
-		warmup   = flag.Int64("warmup", 2000, "warmup cycles")
-		measure  = flag.Int64("measure", 4000, "measured cycles")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache", "", "result cache directory (empty = no cache)")
-		jsonlOut = flag.String("jsonl", "", "stream per-point JSONL results to this file")
-		quiet    = flag.Bool("q", false, "suppress progress lines")
+		h         = flag.Int("h", 4, "dragonfly parameter")
+		mechs     = flag.String("mechs", "Minimal,PiggyBacking,PAR-6/2,RLM,OLM", "comma-separated mechanisms")
+		flow      = flag.String("flow", "VCT", "flow control: VCT or WH")
+		trafficK  = flag.String("traffic", "UN", "traffic pattern: UN, ADVG, ADVL, MIX")
+		offset    = flag.Int("offset", 1, "ADVG/ADVL offset")
+		globalPct = flag.Float64("globalpct", 50, "MIX: percent of ADVG+h traffic")
+		loads     = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.8,1.0", "comma-separated offered loads")
+		metric    = flag.String("metric", "accepted", "metric: accepted, latency, netlatency")
+		format    = flag.String("format", "dat", "output format: dat or md")
+		warmup    = flag.Int64("warmup", 2000, "warmup cycles")
+		measure   = flag.Int64("measure", 4000, "measured cycles")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		par       = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache", "", "result cache directory (empty = no cache)")
+		jsonlOut  = flag.String("jsonl", "", "stream per-point JSONL results to this file")
+		quiet     = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
 
@@ -52,29 +52,13 @@ func main() {
 	}
 	base.Warmup, base.Measure = *warmup, *measure
 	base.Seed = *seed
-	switch *trafficK {
-	case "UN":
-		base.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
-	case "ADVG":
-		base.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: *offset}
-	case "ADVL":
-		base.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: *offset}
-	default:
-		fatalIf(fmt.Errorf("unknown traffic %q", *trafficK))
-	}
+	base.Traffic, err = cliutil.Traffic(*trafficK, *offset, *globalPct)
+	fatalIf(err)
 
-	var ms []dragonfly.Mechanism
-	for _, name := range strings.Split(*mechs, ",") {
-		m, err := dragonfly.ParseMechanism(strings.TrimSpace(name))
-		fatalIf(err)
-		ms = append(ms, m)
-	}
-	var ls []float64
-	for _, s := range strings.Split(*loads, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		fatalIf(err)
-		ls = append(ls, v)
-	}
+	ms, err := cliutil.Mechanisms(*mechs)
+	fatalIf(err)
+	ls, err := cliutil.Floats(*loads)
+	fatalIf(err)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

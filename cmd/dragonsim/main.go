@@ -5,6 +5,12 @@
 //	dragonsim -h 4 -mech OLM -traffic ADVG -offset 1 -load 0.5
 //	dragonsim -h 8 -mech RLM -flow WH -packet 80 -traffic UN -load 0.3
 //	dragonsim -h 4 -mech RLM -traffic MIX -globalpct 60 -burst 1000
+//
+// With -phases the run follows a phased workload instead of one static
+// pattern; -window adds a per-window timeline to the output:
+//
+//	dragonsim -h 4 -mech OLM -phases "UN@0.3x4000,ADVG+4@0.3" -window 250
+//	dragonsim -h 4 -mech OLM -phases "0-527=UN@0.25;528-1055=ADVG+4@0.5" -window 500
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"os"
 
 	dragonfly "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -27,6 +34,8 @@ func main() {
 		globalPct = flag.Float64("globalpct", 50, "MIX: percent of ADVG+h traffic")
 		load      = flag.Float64("load", 0.5, "offered load in phits/(node*cycle)")
 		burst     = flag.Int("burst", 0, "burst packets per node (0 = steady state)")
+		phases    = flag.String("phases", "", `phased workload spec, e.g. "UN@0.3x4000,ADVG+4@0.3" (overrides -traffic/-load/-burst; see README)`)
+		window    = flag.Int64("window", 0, "timeline window width in cycles (0 = no timeline)")
 		threshold = flag.Float64("threshold", 0.45, "misrouting threshold fraction")
 		warmup    = flag.Int64("warmup", 3000, "warmup cycles")
 		measure   = flag.Int64("measure", 6000, "measured cycles")
@@ -50,24 +59,24 @@ func main() {
 		cfg.PacketPhits = *packet
 	}
 	cfg.Threshold = *threshold
-	cfg.Load = *load
-	cfg.BurstPackets = *burst
 	cfg.Warmup, cfg.Measure = *warmup, *measure
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.WindowCycles = *window
 
-	switch *trafficK {
-	case "UN":
-		cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
-	case "ADVG":
-		cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: *offset}
-	case "ADVL":
-		cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: *offset}
-	case "MIX":
-		cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: *globalPct}
-	default:
-		fatalIf(fmt.Errorf("unknown traffic %q", *trafficK))
+	if *phases != "" {
+		cfg.Workload, err = cliutil.Phases(*phases)
+		fatalIf(err)
+	} else {
+		cfg.Traffic, err = cliutil.Traffic(*trafficK, *offset, *globalPct)
+		fatalIf(err)
+		if *burst > 0 {
+			cfg.BurstPackets = *burst
+		} else {
+			cfg.Load = *load
+		}
 	}
+	fatalIf(cfg.Validate())
 
 	routers, nodes, groups, err := dragonfly.NetworkSize(*h)
 	fatalIf(err)
@@ -96,6 +105,19 @@ func main() {
 	fmt.Printf("link utilization   %.3f local, %.3f global\n", res.LocalLinkUtil, res.GlobalLinkUtil)
 	if res.ConsumptionCycles > 0 {
 		fmt.Printf("burst consumption  %d cycles\n", res.ConsumptionCycles)
+	}
+	for _, ph := range res.PhaseDigests {
+		fmt.Printf("phase %-2d %-22s cycles [%d, %d): accepted %.4f lat %.1f misroutes %.3f/%.3f\n",
+			ph.Index, ph.Label, ph.Start, ph.End,
+			ph.AcceptedLoad, ph.AvgTotalLatency, ph.LocalMisrouteRate, ph.GlobalMisrouteRate)
+	}
+	if res.Timeline != nil {
+		fmt.Printf("timeline (%d-cycle windows):\n", res.Timeline.WindowCycles)
+		fmt.Printf("  %10s %10s %10s %10s %10s\n", "cycle", "accepted", "latency", "p99", "delivered")
+		for _, w := range res.Timeline.Windows {
+			fmt.Printf("  %10d %10.4f %10.1f %10.0f %10d\n",
+				w.Start, w.AcceptedLoad, w.AvgTotalLatency, w.P99Latency, w.Delivered)
+		}
 	}
 	if res.Deadlock {
 		fmt.Println("DEADLOCK detected by the watchdog")

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	dragonfly "repro"
+	"repro/internal/cliutil"
 	"repro/internal/exp"
 	"repro/internal/sweep"
 )
@@ -50,7 +51,9 @@ func main() {
 	var (
 		h        = flag.Int("h", 4, "dragonfly parameter (paper: 8)")
 		out      = flag.String("out", "results", "output directory")
-		figsFlag = flag.String("figs", "4,5,6,7,8,9,10,11", "figures to regenerate")
+		figsFlag = flag.String("figs", "4,5,6,7,8,9,10,11,transient", "figures to regenerate")
+		tmechs   = flag.String("tmechs", "Minimal,Valiant,PiggyBacking,OLM", "mechanisms of the transient traffic-change figure")
+		tload    = flag.Float64("tload", 0.2, "offered load of the transient traffic-change figure")
 		warmup   = flag.Int64("warmup", 2000, "warmup cycles")
 		measure  = flag.Int64("measure", 4000, "measured cycles")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -125,6 +128,11 @@ func main() {
 	}
 	if want["11"] {
 		fatalIf(e.fig1011(11))
+	}
+	if want["transient"] {
+		ms, err := cliutil.Mechanisms(*tmechs)
+		fatalIf(err)
+		fatalIf(e.figTransient(ctx, ms, *tload))
 	}
 	fmt.Fprintf(e.summary, "\nTotal regeneration time: %s.\n", time.Since(start).Round(time.Second))
 	sumPath := filepath.Join(*out, "summary.md")
@@ -207,11 +215,11 @@ func (e *env) figs45() error {
 		if err = e.record(err); err != nil {
 			return err
 		}
-		if err := e.writePanel("fig4"+p.suffix, "Latency "+p.traffic.Name(e.h)+"/VCT",
+		if err := e.writePanel("fig4"+p.suffix, "Latency "+cliutil.TrafficName(p.traffic, e.h)+"/VCT",
 			"Offered load", sweep.TotalLatency, series); err != nil {
 			return err
 		}
-		if err := e.writePanel("fig5"+p.suffix, "Throughput "+p.traffic.Name(e.h)+"/VCT",
+		if err := e.writePanel("fig5"+p.suffix, "Throughput "+cliutil.TrafficName(p.traffic, e.h)+"/VCT",
 			"Offered load", sweep.AcceptedLoad, series); err != nil {
 			return err
 		}
@@ -267,11 +275,11 @@ func (e *env) figs78() error {
 		if err = e.record(err); err != nil {
 			return err
 		}
-		if err := e.writePanel("fig7"+p.suffix, "Latency "+p.traffic.Name(e.h)+"/WH",
+		if err := e.writePanel("fig7"+p.suffix, "Latency "+cliutil.TrafficName(p.traffic, e.h)+"/WH",
 			"Offered load", sweep.TotalLatency, series); err != nil {
 			return err
 		}
-		if err := e.writePanel("fig8"+p.suffix, "Throughput "+p.traffic.Name(e.h)+"/WH",
+		if err := e.writePanel("fig8"+p.suffix, "Throughput "+cliutil.TrafficName(p.traffic, e.h)+"/WH",
 			"Offered load", sweep.AcceptedLoad, series); err != nil {
 			return err
 		}
@@ -322,12 +330,105 @@ func (e *env) fig1011(fig int) error {
 		return err
 	}
 	name := fmt.Sprintf("fig%d", fig)
-	if err := e.writePanel(name+"a", "RLM threshold sweep latency, "+base.Traffic.Name(e.h),
+	if err := e.writePanel(name+"a", "RLM threshold sweep latency, "+cliutil.TrafficName(base.Traffic, e.h),
 		"Offered load", sweep.TotalLatency, series); err != nil {
 		return err
 	}
-	return e.writePanel(name+"b", "RLM threshold sweep throughput, "+base.Traffic.Name(e.h),
+	return e.writePanel(name+"b", "RLM threshold sweep throughput, "+cliutil.TrafficName(base.Traffic, e.h),
 		"Offered load", sweep.AcceptedLoad, series)
+}
+
+// figTransient produces the transient traffic-change figure: every node
+// runs UN until mid-measurement, then abruptly switches to the
+// pathological ADVG+h, and the per-window timeline shows how each
+// mechanism reacts — adaptive mechanisms recover their accepted load
+// within a few windows while Minimal collapses onto the single minimal
+// global channel (~1/(2h²)).
+func (e *env) figTransient(ctx context.Context, mechs []dragonfly.Mechanism, load float64) error {
+	base := e.vctBase()
+	switchAt := e.warmup + e.measure/2
+	base.Phases = []dragonfly.PhaseSpec{
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, Load: load, Duration: switchAt},
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: e.h}, Load: load},
+	}
+	window := (e.warmup + e.measure) / 30
+	if window < 50 {
+		window = 50
+	}
+	base.WindowCycles = window
+
+	camp := exp.NewMatrix(base).Mechanisms(mechs...).Campaign("transient")
+	eopt := exp.Options{Workers: e.opt.Parallelism, Cache: e.opt.Cache, JSONL: e.opt.JSONL}
+	if e.opt.Progress != nil {
+		progress := e.opt.Progress
+		eopt.Progress = func(pr exp.Progress) {
+			o := pr.Outcome
+			progress(o.Point.Series, sweep.Point{X: o.Point.X, Result: o.Result, Err: o.Err})
+		}
+	}
+	outs, runErr := exp.Run(ctx, camp, eopt)
+	if err := e.record(errors.Join(runErr, exp.PointErrors(outs))); err != nil {
+		return err
+	}
+
+	series := make([]sweep.TimelineSeries, len(outs))
+	for i := range outs {
+		series[i] = sweep.TimelineSeries{Name: outs[i].Point.Series, Timeline: outs[i].Result.Timeline}
+	}
+	panels := []struct {
+		name   string
+		metric sweep.TimelineMetric
+	}{
+		{"figtransient_a_accepted", sweep.WindowAccepted},
+		{"figtransient_b_latency", sweep.WindowLatency},
+	}
+	for _, p := range panels {
+		f, err := os.Create(filepath.Join(e.outDir, p.name+".dat"))
+		if err != nil {
+			return err
+		}
+		err = sweep.WriteTimelineDAT(f, p.metric, series)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(e.summary, "## figtransient — UN→ADVG+%d switch at cycle %d (load %.2g, %d-cycle windows)\n\n",
+		e.h, switchAt, load, window)
+	fmt.Fprintf(e.summary, "| mechanism | accepted before switch | first window after | last window | recovered |\n|---|---|---|---|---|\n")
+	for i := range outs {
+		o := &outs[i]
+		if o.Err != nil || o.Result.Timeline == nil {
+			fmt.Fprintf(e.summary, "| %s | error | - | - | - |\n", o.Point.Series)
+			continue
+		}
+		wins := o.Result.Timeline.Windows
+		var before, after, last float64
+		afterSet := false
+		for _, w := range wins {
+			if w.End <= switchAt {
+				before = w.AcceptedLoad
+			}
+			if w.Start >= switchAt && !afterSet {
+				after = w.AcceptedLoad
+				afterSet = true
+			}
+		}
+		if n := len(wins); n > 0 {
+			last = wins[n-1].AcceptedLoad
+		}
+		recovered := "no"
+		if before > 0 && last >= 0.8*before {
+			recovered = "yes"
+		}
+		fmt.Fprintf(e.summary, "| %s | %.4f | %.4f | %.4f | %s |\n",
+			o.Point.Series, before, after, last, recovered)
+	}
+	fmt.Fprintln(e.summary)
+	return nil
 }
 
 // burstRatios appends the paper's burst headline numbers: each mechanism's

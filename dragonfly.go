@@ -120,19 +120,45 @@ type Traffic struct {
 	GlobalPercent float64
 }
 
-// Name returns the paper's label for the pattern.
-func (tr Traffic) Name(h int) string {
+// Name returns the paper's label for the pattern, or an error for an
+// unknown kind. Config.Validate surfaces that error before any simulation
+// runs, so a label in results output is always a real pattern name.
+func (tr Traffic) Name(h int) (string, error) {
 	switch tr.Kind {
 	case UN:
-		return "UN"
+		return "UN", nil
 	case ADVG:
-		return fmt.Sprintf("ADVG+%d", tr.offset())
+		return fmt.Sprintf("ADVG+%d", tr.offset()), nil
 	case ADVL:
-		return fmt.Sprintf("ADVL+%d", tr.offset())
+		return fmt.Sprintf("ADVL+%d", tr.offset()), nil
 	case MIX:
-		return fmt.Sprintf("%.0f%%ADVG+%d/ADVL+1", tr.GlobalPercent, h)
+		return fmt.Sprintf("%.0f%%ADVG+%d/ADVL+1", tr.GlobalPercent, h), nil
 	}
-	return "unknown"
+	return "", fmt.Errorf("dragonfly: unknown traffic kind %d", tr.Kind)
+}
+
+// validate checks the pattern parameters against the topology bounds of a
+// well-balanced dragonfly of size h (2h²+1 groups of 2h routers).
+func (tr Traffic) validate(h int) error {
+	name, err := tr.Name(h)
+	if err != nil {
+		return err
+	}
+	switch tr.Kind {
+	case ADVG:
+		if groups := 2*h*h + 1; tr.offset() < 1 || tr.offset() >= groups {
+			return fmt.Errorf("dragonfly: %s offset out of range [1, %d) for h=%d", name, groups, h)
+		}
+	case ADVL:
+		if rpg := 2 * h; tr.offset() < 1 || tr.offset() >= rpg {
+			return fmt.Errorf("dragonfly: %s offset out of range [1, %d) for h=%d", name, rpg, h)
+		}
+	case MIX:
+		if tr.GlobalPercent < 0 || tr.GlobalPercent > 100 {
+			return fmt.Errorf("dragonfly: MIX global percentage %v outside [0, 100]", tr.GlobalPercent)
+		}
+	}
+	return nil
 }
 
 func (tr Traffic) offset() int {
@@ -140,6 +166,34 @@ func (tr Traffic) offset() int {
 		return 1
 	}
 	return tr.Offset
+}
+
+// PhaseSpec describes one phase of a workload schedule: a traffic pattern
+// driven either at a steady offered Load (Bernoulli injection) or as a
+// burst of BurstPackets packets per node, active for Duration cycles.
+type PhaseSpec struct {
+	Traffic Traffic
+	// Load is the phase's offered load in phits/(node·cycle); steady
+	// phases require it in (0, 1] and must leave BurstPackets zero.
+	Load float64
+	// BurstPackets, when positive, makes this a burst phase: every node of
+	// the job sends this many packets, then falls silent.
+	BurstPackets int
+	// Duration is the number of cycles the phase is active, counted on the
+	// absolute simulation clock (warmup included). Zero means "until the
+	// end of the run" and is only legal on the last phase of a schedule.
+	Duration int64
+}
+
+// JobSpec binds a phase schedule to a contiguous node range, so disjoint
+// partitions of the machine can run independent workloads (multi-job
+// interference scenarios). The zero range means "all nodes".
+type JobSpec struct {
+	// FirstNode and LastNode are inclusive global node ids. Leaving both
+	// zero selects the whole network.
+	FirstNode int
+	LastNode  int
+	Phases    []PhaseSpec
 }
 
 // Config describes one simulation experiment. Zero fields take the paper's
@@ -183,6 +237,21 @@ type Config struct {
 	// consumption experiment: every node sends this many packets and the
 	// run measures the cycles needed to drain them all.
 	BurstPackets int
+
+	// Phases, when non-empty, replaces the Traffic/Load/BurstPackets trio
+	// with a phase schedule over all nodes: each phase binds a pattern and
+	// injection process for its Duration, so a run can, e.g., switch from
+	// UN to ADVG mid-measurement to study how mechanisms react. The trio
+	// is exactly equivalent to a one-element Phases schedule.
+	Phases []PhaseSpec
+	// Workload generalizes Phases to node-partitioned multi-job schedules
+	// (disjoint node ranges running independent phase schedules). At most
+	// one of Phases and Workload may be set.
+	Workload []JobSpec
+	// WindowCycles, when positive, adds a Timeline of fixed-width window
+	// snapshots (accepted load, latency, misroute rates per window) to the
+	// Result, covering the whole run including warmup.
+	WindowCycles int64
 
 	Warmup  int64 // steady-state warmup cycles (default 3000)
 	Measure int64 // steady-state measured cycles (default 6000)
@@ -232,6 +301,59 @@ type Result struct {
 	ConsumptionCycles int64
 	// Deadlock reports that the watchdog detected no forward progress.
 	Deadlock bool
+
+	// Timeline is the windowed time series of the run (nil unless
+	// Config.WindowCycles was positive).
+	Timeline *Timeline `json:",omitempty"`
+	// PhaseDigests summarizes each workload phase separately (nil for
+	// single-phase runs).
+	PhaseDigests []PhaseDigest `json:",omitempty"`
+}
+
+// Window is one fixed-width snapshot of a run's Timeline: the packets
+// delivered (and generation events) in [Start, End) on the absolute
+// simulation clock, warmup included.
+type Window struct {
+	Start int64
+	End   int64
+
+	AcceptedLoad       float64 // phits/(node·cycle) delivered in the window
+	AvgTotalLatency    float64 // of packets delivered in the window; 0 when none
+	P99Latency         float64
+	LocalMisrouteRate  float64
+	GlobalMisrouteRate float64
+
+	Delivered     int64
+	Generated     int64
+	InjectionLost int64
+}
+
+// Timeline is a run's windowed time series — the raw material of the
+// transient traffic-change figures.
+type Timeline struct {
+	WindowCycles int64
+	Windows      []Window
+}
+
+// PhaseDigest summarizes the packets generated during one workload phase,
+// wherever in the run they were delivered. AcceptedLoad normalizes by the
+// phase's activity span and its job's node count.
+type PhaseDigest struct {
+	Index int
+	Label string
+	Nodes int
+	Start int64
+	End   int64
+
+	AcceptedLoad       float64
+	AvgTotalLatency    float64
+	AvgNetworkLatency  float64
+	LocalMisrouteRate  float64
+	GlobalMisrouteRate float64
+
+	Generated     int64
+	InjectionLost int64
+	Delivered     int64
 }
 
 // normalize fills defaults; it returns a copy.
@@ -255,13 +377,138 @@ func (c Config) normalize() Config {
 	return c
 }
 
+// jobSpecs returns the workload in its general multi-job form, whatever
+// way it was specified: Workload verbatim, Phases as a single whole-network
+// job, or the classic Traffic/Load/BurstPackets trio as a single job with
+// a single phase.
+func (c Config) jobSpecs() []JobSpec {
+	if len(c.Workload) > 0 {
+		return c.Workload
+	}
+	if len(c.Phases) > 0 {
+		return []JobSpec{{Phases: c.Phases}}
+	}
+	return []JobSpec{{Phases: []PhaseSpec{{
+		Traffic:      c.Traffic,
+		Load:         c.Load,
+		BurstPackets: c.BurstPackets,
+	}}}}
+}
+
+// singlePhase returns the workload's only phase when it consists of one
+// whole-network job — the implicit zero range or the explicit
+// [0, nodes-1] spelling — with one phase, or nil. c must be normalized.
+func (c Config) singlePhase() *PhaseSpec {
+	jobs := c.jobSpecs()
+	if len(jobs) != 1 || len(jobs[0].Phases) != 1 || jobs[0].FirstNode != 0 {
+		return nil
+	}
+	if last := jobs[0].LastNode; last != 0 {
+		nodes := 2 * c.H * (2*c.H*c.H + 1) * c.H
+		if last != nodes-1 {
+			return nil
+		}
+	}
+	return &jobs[0].Phases[0]
+}
+
+// Validate rejects inconsistent configurations with a descriptive error
+// before any network is built: out-of-range offered loads, Load and
+// BurstPackets both set, adversarial offsets outside the topology, unknown
+// traffic kinds, overlapping workload jobs and malformed phase schedules.
+// Run, Prepare and the CLIs all call it; it is exported so tools can check
+// configurations they are about to store or enqueue.
+func (c Config) Validate() error {
+	c = c.normalize()
+	if c.H < 1 {
+		return fmt.Errorf("dragonfly: h must be >= 1, got %d", c.H)
+	}
+	if c.WindowCycles < 0 {
+		return fmt.Errorf("dragonfly: negative WindowCycles %d", c.WindowCycles)
+	}
+	if len(c.Phases) > 0 && len(c.Workload) > 0 {
+		return fmt.Errorf("dragonfly: Phases and Workload are mutually exclusive")
+	}
+	if len(c.Phases) > 0 || len(c.Workload) > 0 {
+		if c.Load != 0 || c.BurstPackets != 0 {
+			return fmt.Errorf("dragonfly: Load/BurstPackets must be zero when a phased workload is set")
+		}
+	}
+	nodes := 2 * c.H * (2*c.H*c.H + 1) * c.H // routers × h
+	jobs := c.jobSpecs()
+	type span struct{ first, last int }
+	spans := make([]span, 0, len(jobs))
+	for ji, job := range jobs {
+		first, last := job.FirstNode, job.LastNode
+		if first == 0 && last == 0 {
+			last = nodes - 1
+		}
+		if first < 0 || last >= nodes || first > last {
+			return fmt.Errorf("dragonfly: job %d node range [%d, %d] outside [0, %d)",
+				ji, job.FirstNode, job.LastNode, nodes)
+		}
+		for _, s := range spans {
+			if first <= s.last && last >= s.first {
+				return fmt.Errorf("dragonfly: job %d nodes [%d, %d] overlap another job's [%d, %d]",
+					ji, first, last, s.first, s.last)
+			}
+		}
+		spans = append(spans, span{first, last})
+		if len(job.Phases) == 0 {
+			return fmt.Errorf("dragonfly: job %d has no phases", ji)
+		}
+		for pi, ph := range job.Phases {
+			where := fmt.Sprintf("job %d phase %d", ji, pi)
+			if len(c.Phases) == 0 && len(c.Workload) == 0 {
+				where = "config"
+			}
+			if err := ph.Traffic.validate(c.H); err != nil {
+				return fmt.Errorf("%w (%s)", err, where)
+			}
+			switch {
+			case ph.BurstPackets < 0:
+				return fmt.Errorf("dragonfly: %s: negative BurstPackets %d", where, ph.BurstPackets)
+			case ph.BurstPackets > 0 && ph.Load != 0:
+				return fmt.Errorf("dragonfly: %s: Load (%v) and BurstPackets (%d) are mutually exclusive",
+					where, ph.Load, ph.BurstPackets)
+			case ph.BurstPackets == 0 && (ph.Load <= 0 || ph.Load > 1):
+				return fmt.Errorf("dragonfly: %s: offered load %v outside (0, 1]", where, ph.Load)
+			}
+			last := pi == len(job.Phases)-1
+			if ph.Duration < 0 || (!last && ph.Duration == 0) {
+				return fmt.Errorf("dragonfly: %s: duration %d (non-final phases need a positive duration)",
+					where, ph.Duration)
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalTraffic reduces a pattern description to its meaningful fields.
+func canonicalTraffic(tr Traffic) Traffic {
+	switch tr.Kind {
+	case UN:
+		return Traffic{Kind: UN}
+	case ADVG, ADVL:
+		return Traffic{Kind: tr.Kind, Offset: tr.offset()}
+	case MIX:
+		return Traffic{Kind: MIX, GlobalPercent: tr.GlobalPercent}
+	}
+	return tr
+}
+
 // Canonical returns the configuration with every defaulted field filled
 // in, result-irrelevant fields zeroed, and the traffic description reduced
 // to its meaningful fields. Two configurations with equal Canonical()
 // values produce identical Results: Workers is cleared because the engine
 // is bit-identical for any worker count, Load is cleared for burst runs
 // (the burst process ignores it), and unused Traffic fields are dropped.
-// Result caches (internal/exp) hash the canonical form as their key.
+// The workload is canonicalized too: a one-element Phases schedule (or a
+// one-job one-phase Workload over all nodes) reduces to the classic
+// Traffic/Load/BurstPackets trio, while genuinely phased workloads land in
+// Workload form with explicit node ranges — so equivalent spellings share
+// cache entries. Result caches (internal/exp) hash the canonical form as
+// their key.
 func (c Config) Canonical() Config {
 	c = c.normalize()
 	// Mirror the engine's and router core's own defaulting so that a
@@ -296,13 +543,43 @@ func (c Config) Canonical() Config {
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 50 * (c.Warmup + c.Measure + 20000)
 	}
-	switch c.Traffic.Kind {
-	case UN:
-		c.Traffic = Traffic{Kind: UN}
-	case ADVG, ADVL:
-		c.Traffic = Traffic{Kind: c.Traffic.Kind, Offset: c.Traffic.offset()}
-	case MIX:
-		c.Traffic = Traffic{Kind: MIX, GlobalPercent: c.Traffic.GlobalPercent}
+	if c.WindowCycles < 0 {
+		c.WindowCycles = 0
+	}
+	if ph := c.singlePhase(); ph != nil && ph.Duration == 0 {
+		// One whole-network phase: the classic trio form is canonical.
+		c.Traffic = canonicalTraffic(ph.Traffic)
+		c.Load = ph.Load
+		c.BurstPackets = ph.BurstPackets
+		c.Phases, c.Workload = nil, nil
+	} else {
+		jobs := c.jobSpecs()
+		canon := make([]JobSpec, len(jobs))
+		nodes := 2 * c.H * (2*c.H*c.H + 1) * c.H
+		for ji, job := range jobs {
+			cj := JobSpec{FirstNode: job.FirstNode, LastNode: job.LastNode}
+			if cj.FirstNode == 0 && cj.LastNode == 0 {
+				cj.LastNode = nodes - 1
+			}
+			cj.Phases = make([]PhaseSpec, len(job.Phases))
+			for pi, ph := range job.Phases {
+				cp := PhaseSpec{
+					Traffic:  canonicalTraffic(ph.Traffic),
+					Load:     ph.Load,
+					Duration: ph.Duration,
+				}
+				if ph.BurstPackets > 0 {
+					cp.Load = 0
+					cp.BurstPackets = ph.BurstPackets
+				}
+				cj.Phases[pi] = cp
+			}
+			canon[ji] = cj
+		}
+		c.Workload = canon
+		c.Phases = nil
+		c.Traffic = Traffic{}
+		c.Load, c.BurstPackets = 0, 0
 	}
 	if c.BurstPackets > 0 {
 		c.Load = 0
@@ -315,20 +592,14 @@ func (c Config) Canonical() Config {
 // Most callers use Run; Build is exposed for tools that need the topology.
 func (c Config) build() (engine.Config, *topology.P, error) {
 	c = c.normalize()
+	if err := c.Validate(); err != nil {
+		return engine.Config{}, nil, err
+	}
 	p, err := topology.New(c.H)
 	if err != nil {
 		return engine.Config{}, nil, err
 	}
-	pattern, err := c.buildPattern(p)
-	if err != nil {
-		return engine.Config{}, nil, err
-	}
-	var process traffic.Process
-	if c.BurstPackets > 0 {
-		process, err = traffic.NewBurst(c.BurstPackets, p.Nodes)
-	} else {
-		process, err = traffic.NewBernoulli(c.Load, c.PacketPhits)
-	}
+	w, err := c.buildWorkload(p)
 	if err != nil {
 		return engine.Config{}, nil, err
 	}
@@ -349,8 +620,8 @@ func (c Config) build() (engine.Config, *topology.P, error) {
 		LatGlobal:       c.LatGlobal,
 		Seed:            c.Seed,
 		Workers:         c.Workers,
-		Pattern:         pattern,
-		Process:         process,
+		Workload:        w,
+		WindowCycles:    c.WindowCycles,
 		Warmup:          c.Warmup,
 		Measure:         c.Measure,
 		MaxCycles:       c.MaxCycles,
@@ -359,14 +630,61 @@ func (c Config) build() (engine.Config, *topology.P, error) {
 	return ec, p, nil
 }
 
-func (c Config) buildPattern(p *topology.P) (traffic.Pattern, error) {
-	switch c.Traffic.Kind {
+// buildWorkload assembles the compiled traffic.Workload behind whichever
+// of the three configuration forms (trio, Phases, Workload) was used.
+func (c Config) buildWorkload(p *topology.P) (*traffic.Workload, error) {
+	specs := c.jobSpecs()
+	multi := false
+	if len(specs) > 1 || len(specs[0].Phases) > 1 {
+		multi = true
+	}
+	jobs := make([]traffic.Job, len(specs))
+	for ji, spec := range specs {
+		first, last := spec.FirstNode, spec.LastNode
+		if first == 0 && last == 0 {
+			last = p.Nodes - 1
+		}
+		job := traffic.Job{First: first, Last: last}
+		for _, ps := range spec.Phases {
+			pattern, err := buildPattern(p, ps.Traffic)
+			if err != nil {
+				return nil, err
+			}
+			name, err := ps.Traffic.Name(c.H)
+			if err != nil {
+				return nil, err
+			}
+			ph := traffic.Phase{Pattern: pattern, Duration: ps.Duration, Label: name}
+			if ps.BurstPackets > 0 {
+				ph.Process, err = traffic.NewBurst(ps.BurstPackets, p.Nodes)
+				ph.TotalPackets = int64(ps.BurstPackets) * int64(last-first+1)
+				if multi {
+					ph.Label = fmt.Sprintf("%s!%dpkts", name, ps.BurstPackets)
+				}
+			} else {
+				ph.Process, err = traffic.NewBernoulli(ps.Load, c.PacketPhits)
+				if multi {
+					ph.Label = fmt.Sprintf("%s@%.3g", name, ps.Load)
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			job.Phases = append(job.Phases, ph)
+		}
+		jobs[ji] = job
+	}
+	return traffic.NewWorkload(p.Nodes, jobs...)
+}
+
+func buildPattern(p *topology.P, tr Traffic) (traffic.Pattern, error) {
+	switch tr.Kind {
 	case UN:
 		return traffic.NewUniform(p), nil
 	case ADVG:
-		return traffic.NewAdversarialGlobal(p, c.Traffic.offset())
+		return traffic.NewAdversarialGlobal(p, tr.offset())
 	case ADVL:
-		return traffic.NewAdversarialLocal(p, c.Traffic.offset())
+		return traffic.NewAdversarialLocal(p, tr.offset())
 	case MIX:
 		g, err := traffic.NewAdversarialGlobal(p, p.H)
 		if err != nil {
@@ -376,9 +694,9 @@ func (c Config) buildPattern(p *topology.P) (traffic.Pattern, error) {
 		if err != nil {
 			return nil, err
 		}
-		return traffic.NewMix(g, l, c.Traffic.GlobalPercent/100)
+		return traffic.NewMix(g, l, tr.GlobalPercent/100)
 	}
-	return nil, fmt.Errorf("dragonfly: unknown traffic kind %d", c.Traffic.Kind)
+	return nil, fmt.Errorf("dragonfly: unknown traffic kind %d", tr.Kind)
 }
 
 // Sim is a prepared simulation: topology built, buffers and link rings
@@ -418,7 +736,10 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return fromMetrics(m, s.cfg), nil
+	res := fromMetrics(m, s.cfg)
+	res.Timeline = timelineFromMetrics(s.sim.Timeline())
+	res.PhaseDigests = phasesFromMetrics(s.sim.PhaseDigests())
+	return res, nil
 }
 
 // Cycles returns the number of cycles actually simulated so far — after
@@ -452,12 +773,75 @@ func NetworkSize(h int) (routers, nodes, groups int, err error) {
 	return p.Routers, p.Nodes, p.Groups, nil
 }
 
+// timelineFromMetrics mirrors the internal timeline into the public type.
+func timelineFromMetrics(t *metrics.Timeline) *Timeline {
+	if t == nil {
+		return nil
+	}
+	out := &Timeline{WindowCycles: t.WindowCycles, Windows: make([]Window, len(t.Windows))}
+	for i, w := range t.Windows {
+		out.Windows[i] = Window{
+			Start:              w.Start,
+			End:                w.End,
+			AcceptedLoad:       w.AcceptedLoad,
+			AvgTotalLatency:    w.AvgTotalLatency,
+			P99Latency:         w.P99Latency,
+			LocalMisrouteRate:  w.LocalMisrouteRate,
+			GlobalMisrouteRate: w.GlobalMisrouteRate,
+			Delivered:          w.Delivered,
+			Generated:          w.Generated,
+			InjectionLost:      w.InjectionLost,
+		}
+	}
+	return out
+}
+
+// phasesFromMetrics mirrors the internal per-phase digests into the public
+// type.
+func phasesFromMetrics(ds []metrics.PhaseDigest) []PhaseDigest {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]PhaseDigest, len(ds))
+	for i, d := range ds {
+		out[i] = PhaseDigest{
+			Index:              d.Index,
+			Label:              d.Label,
+			Nodes:              d.Nodes,
+			Start:              d.Start,
+			End:                d.End,
+			AcceptedLoad:       d.AcceptedLoad,
+			AvgTotalLatency:    d.AvgTotalLatency,
+			AvgNetworkLatency:  d.AvgNetworkLatency,
+			LocalMisrouteRate:  d.LocalMisrouteRate,
+			GlobalMisrouteRate: d.GlobalMisrouteRate,
+			Generated:          d.Generated,
+			InjectionLost:      d.InjectionLost,
+			Delivered:          d.Delivered,
+		}
+	}
+	return out
+}
+
+// offeredLoad is the load reported in Result.OfferedLoad: the configured
+// load for classic and one-phase configurations, zero for multi-phase
+// workloads (whose per-phase loads live in the phase digests).
+func (c Config) offeredLoad() float64 {
+	if len(c.Phases) == 0 && len(c.Workload) == 0 {
+		return c.Load
+	}
+	if ph := c.singlePhase(); ph != nil {
+		return ph.Load
+	}
+	return 0
+}
+
 func fromMetrics(m metrics.Result, c Config) Result {
 	return Result{
 		Mechanism:          m.Mechanism,
 		Pattern:            m.Pattern,
 		FlowControl:        engine.FlowControl(c.FlowControl).String(),
-		OfferedLoad:        c.Load,
+		OfferedLoad:        c.offeredLoad(),
 		AcceptedLoad:       m.AcceptedLoad,
 		AvgTotalLatency:    m.AvgTotalLatency,
 		AvgNetworkLatency:  m.AvgNetworkLatency,

@@ -140,9 +140,14 @@ func TestTrafficNames(t *testing.T) {
 		{dragonfly.Traffic{Kind: dragonfly.ADVL}, "ADVL+1"},
 	}
 	for _, c := range cases {
-		if got := c.tr.Name(8); got != c.want {
-			t.Errorf("Name = %q, want %q", got, c.want)
+		got, err := c.tr.Name(8)
+		if err != nil || got != c.want {
+			t.Errorf("Name = %q, %v, want %q", got, err, c.want)
 		}
+	}
+	// Unknown kinds are an error, not a silent "unknown" label.
+	if name, err := (dragonfly.Traffic{Kind: dragonfly.TrafficKind(42)}).Name(8); err == nil {
+		t.Errorf("Name accepted an unknown kind (returned %q)", name)
 	}
 }
 

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -27,7 +28,12 @@ import (
 )
 
 func main() {
-	const h = 4
+	quick := flag.Bool("quick", false, "reduced scale for smoke tests")
+	flag.Parse()
+	h, warmup, measure := 4, int64(2000), int64(4000)
+	if *quick {
+		h, warmup, measure = 2, 500, 1000
+	}
 	patterns := []struct {
 		name    string
 		traffic dragonfly.Traffic
@@ -35,11 +41,11 @@ func main() {
 		cap     float64
 	}{
 		{"ADVG+1", dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1},
-			"1/(2h^2) without global misrouting", 1.0 / (2 * h * h)},
+			"1/(2h^2) without global misrouting", 1.0 / float64(2*h*h)},
 		{"ADVG+h", dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: h},
-			"1/h without local misrouting", 1.0 / h},
+			"1/h without local misrouting", 1.0 / float64(h)},
 		{"ADVL+1", dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: 1},
-			"1/h without misrouting", 1.0 / h},
+			"1/h without misrouting", 1.0 / float64(h)},
 	}
 	mechanisms := []dragonfly.Mechanism{
 		dragonfly.Minimal, dragonfly.Valiant, dragonfly.Piggybacking, dragonfly.OLM,
@@ -52,7 +58,7 @@ func main() {
 			cfg.Mechanism = m
 			cfg.Traffic = p.traffic
 			cfg.Load = 1.0 // saturate to find maximum throughput
-			cfg.Warmup, cfg.Measure = 2000, 4000
+			cfg.Warmup, cfg.Measure = warmup, measure
 			cfg.Seed = 7
 			res, err := dragonfly.Run(cfg)
 			if err != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -18,13 +19,23 @@ import (
 )
 
 func main() {
-	cfg := dragonfly.PaperVCT(4) // the paper's VCT environment, reduced scale
+	quick := flag.Bool("quick", false, "reduced scale for smoke tests")
+	flag.Parse()
+	h := 4
+	if *quick {
+		h = 2
+	}
+
+	cfg := dragonfly.PaperVCT(h) // the paper's VCT environment, reduced scale
 	cfg.Mechanism = dragonfly.OLM
 	cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
 	cfg.Load = 0.5     // phits/(node*cycle)
 	cfg.Warmup = 2000  // cycles before measurement
 	cfg.Measure = 4000 // measured cycles
 	cfg.Seed = 1       // simulations are fully deterministic per seed
+	if *quick {
+		cfg.Warmup, cfg.Measure = 500, 1000
+	}
 
 	routers, nodes, groups, err := dragonfly.NetworkSize(cfg.H)
 	if err != nil {

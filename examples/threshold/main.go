@@ -13,6 +13,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -20,8 +21,14 @@ import (
 )
 
 func main() {
-	const h = 3 // small network keeps the sweep quick
+	quick := flag.Bool("quick", false, "reduced scale for smoke tests")
+	flag.Parse()
+	h, warmup, measure := 3, int64(2000), int64(4000) // small network keeps the sweep quick
 	thresholds := []float64{0.30, 0.40, 0.45, 0.50, 0.60}
+	if *quick {
+		h, warmup, measure = 2, 500, 1000
+		thresholds = []float64{0.30, 0.45, 0.60}
+	}
 
 	type point struct{ acc, lat, mis float64 }
 	run := func(th float64, tr dragonfly.Traffic, load float64) point {
@@ -30,7 +37,7 @@ func main() {
 		cfg.Threshold = th
 		cfg.Traffic = tr
 		cfg.Load = load
-		cfg.Warmup, cfg.Measure = 2000, 4000
+		cfg.Warmup, cfg.Measure = warmup, measure
 		cfg.Seed = 3
 		res, err := dragonfly.Run(cfg)
 		if err != nil {

@@ -1,0 +1,77 @@
+// Transient traffic-change study: how routing mechanisms react when the
+// workload shifts under them — the scenario that separates adaptive
+// mechanisms from oblivious ones.
+//
+// Every node runs benign uniform traffic, then switches abruptly to the
+// pathological ADVG+h pattern mid-run. The phased workload API expresses
+// the switch as a two-phase schedule, and the per-window timeline shows
+// the reaction: Minimal routing collapses onto the single minimal global
+// channel (~1/(2h²) accepted load) and never recovers, while OLM detects
+// the congestion in-transit and restores nearly the full offered load
+// within a few hundred cycles.
+//
+// Run with:
+//
+//	go run ./examples/transient [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	dragonfly "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced scale for smoke tests")
+	flag.Parse()
+
+	h, warmup, measure := 4, 2000, int64(6000)
+	if *quick {
+		h, warmup, measure = 3, 1000, 2500
+	}
+	load := 0.2
+	switchAt := int64(warmup) + measure/2
+	window := (int64(warmup) + measure) / 16
+
+	fmt.Printf("UN -> ADVG+%d switch at cycle %d (load %.2f, h=%d, %d-cycle windows)\n\n",
+		h, switchAt, load, h, window)
+
+	for _, m := range []dragonfly.Mechanism{dragonfly.Minimal, dragonfly.OLM} {
+		cfg := dragonfly.PaperVCT(h)
+		cfg.Mechanism = m
+		cfg.LatLocal, cfg.LatGlobal = 4, 16
+		cfg.Warmup, cfg.Measure = int64(warmup), measure
+		cfg.Seed = 42
+		cfg.Phases = []dragonfly.PhaseSpec{
+			{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, Load: load, Duration: switchAt},
+			{Traffic: dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: h}, Load: load},
+		}
+		cfg.WindowCycles = window
+
+		res, err := dragonfly.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s (pattern %s)\n", m, res.Pattern)
+		for _, ph := range res.PhaseDigests {
+			fmt.Printf("  phase %-12s cycles [%5d, %5d): accepted %.4f, latency %.0f\n",
+				ph.Label, ph.Start, ph.End, ph.AcceptedLoad, ph.AvgTotalLatency)
+		}
+		fmt.Println("  accepted load per window (| marks the switch):")
+		for _, w := range res.Timeline.Windows {
+			bar := strings.Repeat("#", int(w.AcceptedLoad*120))
+			mark := " "
+			if w.Start <= switchAt && switchAt < w.End {
+				mark = "|"
+			}
+			fmt.Printf("  %6d %s %-26s %.4f\n", w.Start, mark, bar, w.AcceptedLoad)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Minimal never recovers from the switch; OLM re-routes around the")
+	fmt.Println("congested channel in-transit and restores the offered load.")
+}

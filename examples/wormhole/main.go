@@ -16,6 +16,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -23,7 +24,12 @@ import (
 )
 
 func main() {
-	const h = 3
+	quick := flag.Bool("quick", false, "reduced scale for smoke tests")
+	flag.Parse()
+	h, warmup, measure := 3, int64(2500), int64(5000)
+	if *quick {
+		h, warmup, measure = 2, 600, 1200
+	}
 
 	// First: the library refuses OLM under WH (deadlock-unsafe).
 	bad := dragonfly.PaperWH(h)
@@ -42,7 +48,11 @@ func main() {
 		{Kind: dragonfly.UN},
 		{Kind: dragonfly.ADVG, Offset: 1},
 	} {
-		fmt.Printf("traffic %s:\n", tr.Name(h))
+		trName, err := tr.Name(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("traffic %s:\n", trName)
 		for _, m := range []dragonfly.Mechanism{
 			dragonfly.Minimal, dragonfly.Valiant, dragonfly.Piggybacking,
 			dragonfly.PAR62, dragonfly.RLM,
@@ -51,7 +61,7 @@ func main() {
 			cfg.Mechanism = m
 			cfg.Traffic = tr
 			cfg.Load = 0.7
-			cfg.Warmup, cfg.Measure = 2500, 5000
+			cfg.Warmup, cfg.Measure = warmup, measure
 			cfg.Seed = 12
 			res, err := dragonfly.Run(cfg)
 			if err != nil {

@@ -1,0 +1,202 @@
+// Package cliutil holds the flag-parsing helpers shared by the dragonsim,
+// dfsweep and paperfigs commands, so the three CLIs agree on traffic,
+// mechanism and workload-spec syntax instead of each growing its own
+// switch statement.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	dragonfly "repro"
+)
+
+// Traffic builds a pattern from the classic flag trio (-traffic, -offset,
+// -globalpct): kind is UN, ADVG, ADVL or MIX; offset applies to the
+// adversarial kinds and globalPct to MIX.
+func Traffic(kind string, offset int, globalPct float64) (dragonfly.Traffic, error) {
+	switch strings.ToUpper(strings.TrimSpace(kind)) {
+	case "UN":
+		return dragonfly.Traffic{Kind: dragonfly.UN}, nil
+	case "ADVG":
+		return dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: offset}, nil
+	case "ADVL":
+		return dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: offset}, nil
+	case "MIX":
+		return dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: globalPct}, nil
+	}
+	return dragonfly.Traffic{}, fmt.Errorf("unknown traffic %q (want UN, ADVG, ADVL or MIX)", kind)
+}
+
+// TrafficToken parses the compact single-token pattern syntax of workload
+// specs: "UN", "ADVG+4" (offset optional, default 1), "ADVL+1", "MIX" or
+// "MIX:60" (percent of global traffic, default 50).
+func TrafficToken(tok string) (dragonfly.Traffic, error) {
+	t := strings.ToUpper(strings.TrimSpace(tok))
+	switch {
+	case t == "UN":
+		return dragonfly.Traffic{Kind: dragonfly.UN}, nil
+	case t == "MIX":
+		return dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: 50}, nil
+	case strings.HasPrefix(t, "MIX:"):
+		pct, err := strconv.ParseFloat(t[len("MIX:"):], 64)
+		if err != nil {
+			return dragonfly.Traffic{}, fmt.Errorf("bad MIX percentage in %q: %v", tok, err)
+		}
+		return dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: pct}, nil
+	case strings.HasPrefix(t, "ADVG") || strings.HasPrefix(t, "ADVL"):
+		kind := dragonfly.ADVG
+		if t[3] == 'L' {
+			kind = dragonfly.ADVL
+		}
+		rest := t[4:]
+		offset := 1
+		if rest != "" {
+			if !strings.HasPrefix(rest, "+") {
+				return dragonfly.Traffic{}, fmt.Errorf("bad pattern %q (want e.g. %s+2)", tok, t[:4])
+			}
+			n, err := strconv.Atoi(rest[1:])
+			if err != nil {
+				return dragonfly.Traffic{}, fmt.Errorf("bad offset in %q: %v", tok, err)
+			}
+			offset = n
+		}
+		return dragonfly.Traffic{Kind: kind, Offset: offset}, nil
+	}
+	return dragonfly.Traffic{}, fmt.Errorf("unknown pattern %q (want UN, ADVG+N, ADVL+N or MIX:P)", tok)
+}
+
+// TrafficName returns the display label of an already-validated pattern;
+// it panics on an invalid kind, which Validate would have rejected first.
+func TrafficName(tr dragonfly.Traffic, h int) string {
+	name, err := tr.Name(h)
+	if err != nil {
+		panic(err)
+	}
+	return name
+}
+
+// Mechanisms parses a comma-separated mechanism list.
+func Mechanisms(csv string) ([]dragonfly.Mechanism, error) {
+	var ms []dragonfly.Mechanism
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, err := dragonfly.ParseMechanism(name)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("empty mechanism list %q", csv)
+	}
+	return ms, nil
+}
+
+// Floats parses a comma-separated float list (offered loads, percentages).
+func Floats(csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty number list %q", csv)
+	}
+	return out, nil
+}
+
+// Phases parses the workload spec mini-language shared by the CLIs:
+//
+//	spec   := job (";" job)*
+//	job    := [first "-" last "="] phase ("," phase)*
+//	phase  := pattern "@" rate ["x" duration]
+//	rate   := load            steady Bernoulli load in (0, 1], e.g. 0.35
+//	        | count "b"       burst of count packets per node, e.g. 200b
+//
+// pattern uses TrafficToken syntax. A job without a node range covers the
+// whole network; the last phase of a job may omit the duration ("rest of
+// the run"). Examples:
+//
+//	UN@0.3x4000,ADVG+4@0.3
+//	0-527=UN@0.25;528-1055=ADVG+4@0.5x3000,UN@0.1
+func Phases(spec string) ([]dragonfly.JobSpec, error) {
+	var jobs []dragonfly.JobSpec
+	for _, jobSpec := range strings.Split(spec, ";") {
+		jobSpec = strings.TrimSpace(jobSpec)
+		if jobSpec == "" {
+			continue
+		}
+		var job dragonfly.JobSpec
+		if eq := strings.Index(jobSpec, "="); eq >= 0 {
+			lo, hi, ok := strings.Cut(jobSpec[:eq], "-")
+			first, err1 := strconv.Atoi(strings.TrimSpace(lo))
+			last, err2 := strconv.Atoi(strings.TrimSpace(hi))
+			if !ok || err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad node range %q (want first-last=...)", jobSpec[:eq])
+			}
+			job.FirstNode, job.LastNode = first, last
+			jobSpec = jobSpec[eq+1:]
+		}
+		for _, phSpec := range strings.Split(jobSpec, ",") {
+			ph, err := phase(phSpec)
+			if err != nil {
+				return nil, err
+			}
+			job.Phases = append(job.Phases, ph)
+		}
+		jobs = append(jobs, job)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("empty workload spec %q", spec)
+	}
+	return jobs, nil
+}
+
+// phase parses one "pattern@rate[xduration]" token.
+func phase(spec string) (dragonfly.PhaseSpec, error) {
+	spec = strings.TrimSpace(spec)
+	pat, rest, ok := strings.Cut(spec, "@")
+	if !ok {
+		return dragonfly.PhaseSpec{}, fmt.Errorf("bad phase %q (want pattern@rate[xduration])", spec)
+	}
+	tr, err := TrafficToken(pat)
+	if err != nil {
+		return dragonfly.PhaseSpec{}, err
+	}
+	ph := dragonfly.PhaseSpec{Traffic: tr}
+	rate := rest
+	if rate, rest, ok = strings.Cut(rest, "x"); ok {
+		dur, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			return dragonfly.PhaseSpec{}, fmt.Errorf("bad duration in phase %q: %v", spec, err)
+		}
+		ph.Duration = dur
+	}
+	rate = strings.TrimSpace(rate)
+	if n, isBurst := strings.CutSuffix(rate, "b"); isBurst {
+		pkts, err := strconv.Atoi(n)
+		if err != nil {
+			return dragonfly.PhaseSpec{}, fmt.Errorf("bad burst count in phase %q: %v", spec, err)
+		}
+		ph.BurstPackets = pkts
+	} else {
+		load, err := strconv.ParseFloat(rate, 64)
+		if err != nil {
+			return dragonfly.PhaseSpec{}, fmt.Errorf("bad load in phase %q: %v", spec, err)
+		}
+		ph.Load = load
+	}
+	return ph, nil
+}

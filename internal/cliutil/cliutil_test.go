@@ -1,0 +1,120 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+
+	dragonfly "repro"
+)
+
+func TestTrafficTrio(t *testing.T) {
+	cases := []struct {
+		kind   string
+		offset int
+		pct    float64
+		want   dragonfly.Traffic
+	}{
+		{"UN", 1, 50, dragonfly.Traffic{Kind: dragonfly.UN}},
+		{"advg", 3, 50, dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 3}},
+		{"ADVL", 2, 50, dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: 2}},
+		{"MIX", 1, 60, dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: 60}},
+	}
+	for _, c := range cases {
+		got, err := Traffic(c.kind, c.offset, c.pct)
+		if err != nil || got != c.want {
+			t.Errorf("Traffic(%q) = %+v, %v; want %+v", c.kind, got, err, c.want)
+		}
+	}
+	if _, err := Traffic("nope", 1, 50); err == nil {
+		t.Error("unknown traffic kind accepted")
+	}
+}
+
+func TestTrafficToken(t *testing.T) {
+	cases := []struct {
+		tok  string
+		want dragonfly.Traffic
+	}{
+		{"UN", dragonfly.Traffic{Kind: dragonfly.UN}},
+		{"ADVG", dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}},
+		{"ADVG+4", dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 4}},
+		{"advl+2", dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: 2}},
+		{"MIX", dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: 50}},
+		{"MIX:75", dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: 75}},
+	}
+	for _, c := range cases {
+		got, err := TrafficToken(c.tok)
+		if err != nil || got != c.want {
+			t.Errorf("TrafficToken(%q) = %+v, %v; want %+v", c.tok, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "XYZ", "ADVG-2", "ADVG+x", "MIX:abc"} {
+		if _, err := TrafficToken(bad); err == nil {
+			t.Errorf("TrafficToken(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMechanismsAndFloats(t *testing.T) {
+	ms, err := Mechanisms(" RLM, OLM ,Minimal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dragonfly.Mechanism{dragonfly.RLM, dragonfly.OLM, dragonfly.Minimal}
+	if !reflect.DeepEqual(ms, want) {
+		t.Fatalf("Mechanisms = %v, want %v", ms, want)
+	}
+	if _, err := Mechanisms("RLM,bogus"); err == nil {
+		t.Error("bogus mechanism accepted")
+	}
+	if _, err := Mechanisms(" , "); err == nil {
+		t.Error("empty mechanism list accepted")
+	}
+	fs, err := Floats("0.1, 0.5,1")
+	if err != nil || !reflect.DeepEqual(fs, []float64{0.1, 0.5, 1}) {
+		t.Fatalf("Floats = %v, %v", fs, err)
+	}
+	if _, err := Floats("0.1,zz"); err == nil {
+		t.Error("bad float accepted")
+	}
+}
+
+func TestPhasesSpec(t *testing.T) {
+	jobs, err := Phases("UN@0.3x4000,ADVG+4@0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dragonfly.JobSpec{{Phases: []dragonfly.PhaseSpec{
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, Load: 0.3, Duration: 4000},
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 4}, Load: 0.3},
+	}}}
+	if !reflect.DeepEqual(jobs, want) {
+		t.Fatalf("Phases = %+v, want %+v", jobs, want)
+	}
+
+	jobs, err = Phases("0-527=UN@0.25;528-1055=ADVG+4@200bx3000,MIX:60@0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []dragonfly.JobSpec{
+		{FirstNode: 0, LastNode: 527, Phases: []dragonfly.PhaseSpec{
+			{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, Load: 0.25},
+		}},
+		{FirstNode: 528, LastNode: 1055, Phases: []dragonfly.PhaseSpec{
+			{Traffic: dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 4}, BurstPackets: 200, Duration: 3000},
+			{Traffic: dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: 60}, Load: 0.1},
+		}},
+	}
+	if !reflect.DeepEqual(jobs, want) {
+		t.Fatalf("Phases = %+v, want %+v", jobs, want)
+	}
+
+	for _, bad := range []string{
+		"", "UN", "UN@", "UN@0.3x", "UN@0.3xzz", "@0.3",
+		"1-=UN@0.3", "a-b=UN@0.3", "UN@zzb",
+	} {
+		if _, err := Phases(bad); err == nil {
+			t.Errorf("Phases(%q) accepted", bad)
+		}
+	}
+}

@@ -37,8 +37,9 @@ import (
 // whenever a change alters any metrics.Result field for some configuration
 // — and left alone for pure-performance changes that keep results
 // bit-identical (the activity-driven refactor, for example, did not bump
-// it).
-const ResultsVersion = 1
+// it). Version 2: phased workloads, windowed timelines and per-phase
+// digests joined the result surface.
+const ResultsVersion = 2
 
 // Config describes one simulation run.
 type Config struct {
@@ -60,8 +61,16 @@ type Config struct {
 	Seed    uint64
 	Workers int // parallel execution shards; <=1 runs serially
 
-	Pattern traffic.Pattern
-	Process traffic.Process
+	// Workload, when non-nil, drives injection: each node follows the
+	// phase schedule of its workload job. When nil, Pattern and Process
+	// describe the classic single-phase workload over all nodes.
+	Workload *traffic.Workload
+	Pattern  traffic.Pattern
+	Process  traffic.Process
+
+	// WindowCycles, when positive, collects a metrics.Timeline of
+	// fixed-width windows over the whole run (see Sim.Timeline).
+	WindowCycles int64
 
 	Warmup  int64 // steady-state: cycles before measurement starts
 	Measure int64 // steady-state: measured cycles
@@ -106,8 +115,11 @@ func (c *Config) validate() error {
 	if c.Topo == nil {
 		return fmt.Errorf("engine: nil topology")
 	}
-	if c.Pattern == nil || c.Process == nil {
-		return fmt.Errorf("engine: traffic pattern and process are required")
+	if c.Workload == nil && (c.Pattern == nil || c.Process == nil) {
+		return fmt.Errorf("engine: a workload or a traffic pattern and process are required")
+	}
+	if c.WindowCycles < 0 {
+		return fmt.Errorf("engine: negative metrics window %d", c.WindowCycles)
 	}
 	if c.PacketPhits < 1 {
 		return fmt.Errorf("engine: packet size %d phits", c.PacketPhits)
@@ -140,11 +152,10 @@ type progress struct {
 // Sim is an instantiated simulation. A Sim runs once; build a new one per
 // experiment point.
 type Sim struct {
-	cfg     Config
-	topo    *topology.P
-	routers []router
-	pattern traffic.Pattern
-	process traffic.Process
+	cfg      Config
+	topo     *topology.P
+	routers  []router
+	workload *traffic.Workload
 
 	pbEnabled   bool
 	pbPublished [][]bool
@@ -155,6 +166,9 @@ type Sim struct {
 
 	cycle int64
 	ran   bool
+
+	timeline     *metrics.Timeline
+	phaseDigests []metrics.PhaseDigest
 }
 
 // New builds the network: routers, buffers, link rings and routing
@@ -192,15 +206,30 @@ func New(cfg Config) (*Sim, error) {
 			localVCs, globalVCs)
 	}
 
+	w := cfg.Workload
+	if w == nil {
+		w, err = traffic.NewSingleWorkload(cfg.Pattern, cfg.Process, p.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
 	s := &Sim{
 		cfg:       cfg,
 		topo:      p,
-		pattern:   cfg.Pattern,
-		process:   cfg.Process,
+		workload:  w,
 		pbEnabled: cfg.Spec == core.PB,
 		routers:   make([]router, p.Routers),
 		sheets:    make([]metrics.Sheet, cfg.Workers),
 		progress:  make([]progress, cfg.Workers),
+	}
+	// Per-phase digests only earn their keep on multi-phase workloads; a
+	// one-phase digest would duplicate the main Result.
+	trackedPhases := 0
+	if w.TotalPhases() > 1 {
+		trackedPhases = w.TotalPhases()
+	}
+	for i := range s.sheets {
+		s.sheets[i].Configure(cfg.WindowCycles, trackedPhases)
 	}
 	if s.pbEnabled {
 		s.pbPublished = make([][]bool, p.Groups)
@@ -232,6 +261,8 @@ func New(cfg Config) (*Sim, error) {
 		r.portSent = make([]bool, p.Ports)
 		r.inputUsed = make([]bool, p.Ports)
 		r.claimVCs = make([]uint16, p.Ports)
+		r.phaseCur = make([]int32, len(w.Jobs))
+		r.nodePhase = make([]nodePhase, p.H)
 		maxLat := cfg.LatLocal
 		if cfg.LatGlobal > maxLat {
 			maxLat = cfg.LatGlobal
@@ -291,11 +322,6 @@ func makeOutPort(vcs, capacity int) outPort {
 		op.credits[v] = int32(capacity)
 	}
 	return op
-}
-
-// consumeFinite forwards a successful injection to finite processes.
-func (s *Sim) consumeFinite(node int) {
-	s.process.Consume(node)
 }
 
 // stepCycle advances the whole network one cycle, serially.
@@ -375,7 +401,7 @@ func (s *Sim) RunContext(ctx context.Context) (metrics.Result, error) {
 
 	var deadlock bool
 	var err error
-	if s.process.Finite() {
+	if s.workload.Finite() {
 		deadlock, err = s.runBurst(ctx, step)
 	} else {
 		deadlock, err = s.runSteady(ctx, step)
@@ -385,25 +411,59 @@ func (s *Sim) RunContext(ctx context.Context) (metrics.Result, error) {
 	}
 
 	var sheet metrics.Sheet
+	trackedPhases := 0
+	if s.workload.TotalPhases() > 1 {
+		trackedPhases = s.workload.TotalPhases()
+	}
+	sheet.Configure(s.cfg.WindowCycles, trackedPhases)
 	for i := range s.sheets {
 		sheet.Merge(&s.sheets[i])
 	}
 	cycles := s.cfg.Measure
-	if s.process.Finite() {
+	if s.workload.Finite() {
 		cycles = s.cycle
 	}
 	p := s.topo
 	res := metrics.Digest(&sheet, cycles, p.Nodes,
 		p.Routers*p.LocalPorts, p.Routers*p.GlobalPorts)
 	res.Mechanism = s.cfg.Spec.String()
-	res.Pattern = s.pattern.Name()
+	res.Pattern = s.workload.Name()
 	res.Deadlock = deadlock
 	res.PhitsMoved, _, _ = s.totals()
-	if s.process.Finite() {
+	if s.workload.Finite() {
 		res.ConsumptionCycles = s.lastDelivery()
 	}
+	s.timeline = sheet.Timeline(s.cycle, p.Nodes)
+	s.phaseDigests = sheet.PhaseDigests(s.phaseInfos(), s.cycle)
 	return res, nil
 }
+
+// phaseInfos flattens the workload's schedules into the digest metadata,
+// indexed by workload-global phase id.
+func (s *Sim) phaseInfos() []metrics.PhaseInfo {
+	w := s.workload
+	infos := make([]metrics.PhaseInfo, 0, w.TotalPhases())
+	for ji := range w.Jobs {
+		j := &w.Jobs[ji]
+		for pi := range j.Phases {
+			infos = append(infos, metrics.PhaseInfo{
+				Label:    j.Phases[pi].Label,
+				Nodes:    j.Nodes(),
+				Start:    j.Start(pi),
+				Duration: j.Phases[pi].Duration,
+			})
+		}
+	}
+	return infos
+}
+
+// Timeline returns the windowed time series of the finished run, or nil
+// when Config.WindowCycles was zero. Valid after Run.
+func (s *Sim) Timeline() *metrics.Timeline { return s.timeline }
+
+// PhaseDigests returns the per-phase digests of the finished run, or nil
+// for single-phase workloads. Valid after Run.
+func (s *Sim) PhaseDigests() []metrics.PhaseDigest { return s.phaseDigests }
 
 // runSteady runs warmup then measurement, returning true on deadlock.
 func (s *Sim) runSteady(ctx context.Context, step func()) (bool, error) {
@@ -434,12 +494,13 @@ func (s *Sim) runSteady(ctx context.Context, step func()) (bool, error) {
 	return false, nil
 }
 
-// runBurst runs a finite process until every packet drained, returning
+// runBurst runs a finite workload until every packet drained, returning
 // true on deadlock (or on exceeding MaxCycles, which is reported the same
 // way since the network failed to drain).
 func (s *Sim) runBurst(ctx context.Context, step func()) (bool, error) {
-	target := s.process.Total()
-	var lastMoved int64
+	target := s.workload.Total()
+	lastChange := s.workload.LastChange()
+	var lastMoved, lastGenerated int64
 	quiet := int64(0)
 	for s.cycle < s.cfg.MaxCycles {
 		if s.cycle&ctxCheckMask == 0 {
@@ -449,8 +510,18 @@ func (s *Sim) runBurst(ctx context.Context, step func()) (bool, error) {
 		}
 		step()
 		moved, live, generated := s.totals()
-		if generated >= target && live == 0 {
-			return false, nil
+		if live == 0 {
+			if generated >= target {
+				return false, nil
+			}
+			// A burst phase cut short by its duration leaves the declared
+			// target unreachable. Once the phase set is static (past the
+			// last transition), an empty network that generates nothing
+			// for a full cycle can never generate again — the run is
+			// drained, not deadlocked.
+			if generated == lastGenerated && s.cycle > lastChange {
+				return false, nil
+			}
 		}
 		if moved == lastMoved && live > 0 {
 			quiet++
@@ -461,6 +532,7 @@ func (s *Sim) runBurst(ctx context.Context, step func()) (bool, error) {
 			quiet = 0
 		}
 		lastMoved = moved
+		lastGenerated = generated
 	}
 	return true, nil
 }

@@ -12,6 +12,7 @@ import (
 type Packet struct {
 	ID         int64
 	Size       int32 // phits
+	Phase      int32 // workload-global phase id active at generation
 	CreatedAt  int64 // cycle the traffic process generated it
 	InjectedAt int64 // cycle its head left the injection queue (-1 until then)
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/traffic"
 )
 
 // transfer is an active output-VC allocation: the head packet of input VC
@@ -93,6 +94,17 @@ type router struct {
 	// into a double-buffered table, so after the last change both buffers
 	// need one write each before the refresh can stop.
 	pbCooldown int8
+
+	// phaseCur caches, per workload job, the index of the last phase this
+	// router observed active. Phase transitions are pure functions of the
+	// cycle number and inject runs every cycle, so the cached cursor only
+	// ever advances and stays identical across worker shardings.
+	phaseCur []int32
+	// nodePhase caches each attached node's resolved active phase, valid
+	// until phaseRefreshAt; between transitions the injection loop then
+	// costs the same as the pre-workload single-pattern path.
+	nodePhase      []nodePhase
+	phaseRefreshAt int64
 
 	// per-cycle scratch
 	portSent  []bool // output port already transmitted this cycle
@@ -253,22 +265,77 @@ func (r *router) absorb(cycle int64, expect int32) {
 	}
 }
 
-// inject asks the traffic process for new packets and queues them.
+// nodePhase is one attached node's cached view of its active workload
+// phase (see router.refreshPhases).
+type nodePhase struct {
+	pattern traffic.Pattern
+	process traffic.Process
+	phase   int32
+	idle    bool // no job, or the job's bounded schedule expired
+	finite  bool
+}
+
+const noNextChange = int64(^uint64(0) >> 1)
+
+// refreshPhases re-resolves every attached node's active phase and
+// schedules the next refresh at the earliest upcoming transition of the
+// jobs this router touches. Single-phase workloads therefore refresh once
+// and never again, keeping the per-cycle injection cost at the
+// pre-workload level.
+func (r *router) refreshPhases(cycle int64) {
+	e := r.eng
+	w := e.workload
+	next := noNextChange
+	for k := 0; k < e.topo.H; k++ {
+		np := &r.nodePhase[k]
+		node := e.topo.NodeID(r.id, k)
+		ji := w.JobOf(node)
+		if ji < 0 {
+			np.idle = true
+			continue
+		}
+		pi, active := w.PhaseAt(ji, cycle, &r.phaseCur[ji])
+		np.idle = !active
+		if active {
+			ph := &w.Jobs[ji].Phases[pi]
+			np.pattern = ph.Pattern
+			np.process = ph.Process
+			np.phase = int32(w.PhaseID(ji, pi))
+			np.finite = ph.Process.Finite()
+		}
+		if nc := w.NextChange(ji, cycle); nc >= 0 && nc < next {
+			next = nc
+		}
+	}
+	r.phaseRefreshAt = next
+}
+
+// inject asks each node's active workload phase for new packets and queues
+// them. Nodes outside every job stay idle; for all others the phase's
+// process draws from the node's RNG stream every cycle, so a one-phase
+// workload consumes randomness exactly like the classic pattern+process
+// pair did.
 func (r *router) inject(cycle int64) {
+	if cycle >= r.phaseRefreshAt {
+		r.refreshPhases(cycle)
+	}
 	e := r.eng
 	base := e.topo.EjectPortBase()
 	for k := 0; k < e.topo.H; k++ {
+		np := &r.nodePhase[k]
+		if np.idle {
+			continue
+		}
 		node := e.topo.NodeID(r.id, k)
 		rnd := r.nodeRand[k]
-		if !e.process.Generate(node, cycle, rnd) {
+		if !np.process.Generate(node, cycle, rnd) {
 			continue
 		}
 		port := base + k
 		q := &r.in[port].vcs[0]
 		if !q.hasSpaceFor(int32(e.cfg.PacketPhits)) {
-			if !e.process.Finite() {
-				r.sheet.InjectionLost++
-				r.sheet.Generated++
+			if !np.finite {
+				r.sheet.RecordInjectionLost(cycle, int(np.phase))
 			}
 			continue // finite processes retry next cycle
 		}
@@ -276,18 +343,18 @@ func (r *router) inject(cycle int64) {
 		pkt.ID = int64(r.id)<<32 | r.pktSeq
 		r.pktSeq++
 		pkt.Size = int32(e.cfg.PacketPhits)
+		pkt.Phase = np.phase
 		pkt.CreatedAt = cycle
 		pkt.InjectedAt = -1
-		dst := e.pattern.Dest(node, rnd)
+		dst := np.pattern.Dest(node, rnd)
 		pkt.St.Init(e.topo, node, dst)
 		q.pushWholePacket(pkt)
 		r.occupied++
 		if !q.claimed {
 			r.markClaimable(port, 0)
 		}
-		e.consumeFinite(node)
-		r.sheet.Generated++
-		r.sheet.Injected++
+		np.process.Consume(node)
+		r.sheet.RecordInjected(cycle, int(np.phase))
 		r.prog.generated++
 		r.prog.live++
 	}
@@ -388,7 +455,7 @@ func (r *router) deliver(cycle int64, pkt *Packet) {
 	if int(st.DstRouter) != r.id {
 		panic("engine: delivery at wrong router")
 	}
-	r.sheet.RecordDelivery(int(pkt.Size),
+	r.sheet.RecordDelivery(cycle, int(pkt.Phase), int(pkt.Size),
 		cycle-pkt.CreatedAt, cycle-pkt.InjectedAt,
 		int(st.LocalHops), int(st.GlobalHops),
 		int(st.LocalMisCount), int(st.GlobalMisCount), int(st.EscapeHops))

@@ -106,6 +106,48 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	if cache.Key(c) != cache.Key(d) {
 		t.Fatal("irrelevant Load leaked into a burst cache key")
 	}
+
+	// A one-phase workload is the same experiment as the classic trio, in
+	// all three spellings.
+	phased := dragonfly.Config{H: 4}
+	phased.Phases = []dragonfly.PhaseSpec{{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, Load: 0.5}}
+	jobbed := dragonfly.Config{H: 4}
+	jobbed.Workload = []dragonfly.JobSpec{{Phases: phased.Phases}}
+	ranged := dragonfly.Config{H: 4}
+	ranged.Workload = []dragonfly.JobSpec{{FirstNode: 0, LastNode: 1055, Phases: phased.Phases}}
+	if cache.Key(zero) != cache.Key(phased) || cache.Key(zero) != cache.Key(jobbed) ||
+		cache.Key(zero) != cache.Key(ranged) {
+		t.Fatal("one-phase workload spellings hash differently from the trio")
+	}
+
+	// The timeline window width changes the result, so it must change the
+	// key; a genuinely phased schedule must differ from the one-phase one.
+	windowed := zero
+	windowed.WindowCycles = 500
+	if cache.Key(zero) == cache.Key(windowed) {
+		t.Fatal("WindowCycles not part of the cache key")
+	}
+	twoPhase := dragonfly.Config{H: 4}
+	twoPhase.Phases = []dragonfly.PhaseSpec{
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, Load: 0.5, Duration: 4000},
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 4}, Load: 0.5},
+	}
+	if cache.Key(zero) == cache.Key(twoPhase) {
+		t.Fatal("a phased schedule hashes like a static one")
+	}
+
+	// Explicit whole-network job bounds hash like the implicit zero range.
+	implicit := dragonfly.Config{H: 4}
+	implicit.Workload = []dragonfly.JobSpec{
+		{Phases: twoPhase.Phases},
+	}
+	explicitRange := dragonfly.Config{H: 4}
+	explicitRange.Workload = []dragonfly.JobSpec{
+		{FirstNode: 0, LastNode: 1055, Phases: twoPhase.Phases}, // h=4: 1056 nodes
+	}
+	if cache.Key(implicit) != cache.Key(explicitRange) {
+		t.Fatal("implicit whole-network job hashes differently from the explicit range")
+	}
 }
 
 func TestCacheCorruptEntryIsAMiss(t *testing.T) {

@@ -20,6 +20,91 @@ const (
 	latencyMax     = 1 << 15
 )
 
+// windowBuckets is the per-window latency histogram resolution. Windows
+// trade precision (latencyMax/windowBuckets = 128-cycle buckets) for a
+// footprint small enough to keep one histogram per window per worker.
+const windowBuckets = 256
+
+// windowCell accumulates the per-window counters behind one Timeline
+// window. Cells are indexed by cycle/width from the start of the run
+// (warmup included), so transient figures can show the warmup tail too.
+type windowCell struct {
+	Delivered      int64
+	PhitsDelivered int64
+	Generated      int64
+	InjectionLost  int64
+
+	TotalLatencySum float64
+	LocalMis        int64
+	GlobalMis       int64
+
+	latHist [windowBuckets + 1]int32
+}
+
+func (c *windowCell) merge(o *windowCell) {
+	c.Delivered += o.Delivered
+	c.PhitsDelivered += o.PhitsDelivered
+	c.Generated += o.Generated
+	c.InjectionLost += o.InjectionLost
+	c.TotalLatencySum += o.TotalLatencySum
+	c.LocalMis += o.LocalMis
+	c.GlobalMis += o.GlobalMis
+	for i := range c.latHist {
+		c.latHist[i] += o.latHist[i]
+	}
+}
+
+// p99 approximates the window's 99th-percentile latency as the upper bound
+// of the covering bucket, clamped to latencyMax so the value stays finite
+// (and JSON-serializable) even for the overflow bucket.
+func (c *windowCell) p99() float64 {
+	if c.Delivered == 0 {
+		return 0
+	}
+	target := (99*c.Delivered + 99) / 100
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range c.latHist {
+		cum += int64(n)
+		if cum >= target {
+			if i >= windowBuckets {
+				return latencyMax
+			}
+			return float64((i + 1) * latencyMax / windowBuckets)
+		}
+	}
+	return latencyMax
+}
+
+// phaseCell accumulates the counters behind one per-phase digest. Packets
+// are attributed to the phase that generated them, whenever they deliver.
+type phaseCell struct {
+	Generated      int64
+	InjectionLost  int64
+	Injected       int64
+	Delivered      int64
+	PhitsDelivered int64
+
+	TotalLatencySum   float64
+	NetworkLatencySum float64
+	LocalMis          int64
+	GlobalMis         int64
+}
+
+func (c *phaseCell) merge(o *phaseCell) {
+	c.Generated += o.Generated
+	c.InjectionLost += o.InjectionLost
+	c.Injected += o.Injected
+	c.Delivered += o.Delivered
+	c.PhitsDelivered += o.PhitsDelivered
+	c.TotalLatencySum += o.TotalLatencySum
+	c.NetworkLatencySum += o.NetworkLatencySum
+	c.LocalMis += o.LocalMis
+	c.GlobalMis += o.GlobalMis
+}
+
 // Sheet accumulates raw counters during a measurement window.
 // The zero value is ready to use.
 type Sheet struct {
@@ -46,10 +131,54 @@ type Sheet struct {
 	// Link utilization: phits carried per link class.
 	LocalLinkPhits  int64
 	GlobalLinkPhits int64
+
+	// windowWidth partitions the run into fixed-width Timeline windows;
+	// zero disables window collection. Windows and phase cells survive
+	// Reset: the timeline and the per-phase digests deliberately span the
+	// whole run, warmup included, because the transients they exist to
+	// show (a pattern switch, a burst landing) do not respect the
+	// warmup/measurement boundary.
+	windowWidth int64
+	windows     []windowCell
+	phaseCells  []phaseCell
 }
 
-// RecordDelivery accounts one delivered packet.
-func (s *Sheet) RecordDelivery(phits int, totalLat, netLat int64, localHops, globalHops, localMis, globalMis, escapeHops int) {
+// Configure sets the Timeline window width (0 disables windows) and the
+// number of workload phases tracked by per-phase digests (0 disables
+// them). Call it once, before recording.
+func (s *Sheet) Configure(windowWidth int64, phases int) {
+	s.windowWidth = windowWidth
+	s.windows = nil
+	if phases > 0 {
+		s.phaseCells = make([]phaseCell, phases)
+	} else {
+		s.phaseCells = nil
+	}
+}
+
+// windowAt returns the cell covering cycle, growing the lazy window slice
+// as the run advances.
+func (s *Sheet) windowAt(cycle int64) *windowCell {
+	i := int(cycle / s.windowWidth)
+	for len(s.windows) <= i {
+		s.windows = append(s.windows, windowCell{})
+	}
+	return &s.windows[i]
+}
+
+// phaseAt returns the cell of workload-global phase id, or nil when phase
+// tracking is off or the id is out of range.
+func (s *Sheet) phaseAt(phase int) *phaseCell {
+	if phase < 0 || phase >= len(s.phaseCells) {
+		return nil
+	}
+	return &s.phaseCells[phase]
+}
+
+// RecordDelivery accounts one packet delivered at cycle that was generated
+// in workload phase (pass cycle 0 / phase -1 when neither windows nor
+// phases are configured).
+func (s *Sheet) RecordDelivery(cycle int64, phase int, phits int, totalLat, netLat int64, localHops, globalHops, localMis, globalMis, escapeHops int) {
 	s.Delivered++
 	s.PhitsDelivered += int64(phits)
 	s.TotalLatencySum += float64(totalLat)
@@ -64,6 +193,57 @@ func (s *Sheet) RecordDelivery(phits int, totalLat, netLat int64, localHops, glo
 		b = latencyBuckets
 	}
 	s.latHist[b]++
+	if s.windowWidth > 0 {
+		w := s.windowAt(cycle)
+		w.Delivered++
+		w.PhitsDelivered += int64(phits)
+		w.TotalLatencySum += float64(totalLat)
+		w.LocalMis += int64(localMis)
+		w.GlobalMis += int64(globalMis)
+		wb := int(totalLat) * windowBuckets / latencyMax
+		if wb >= windowBuckets || wb < 0 {
+			wb = windowBuckets
+		}
+		w.latHist[wb]++
+	}
+	if c := s.phaseAt(phase); c != nil {
+		c.Delivered++
+		c.PhitsDelivered += int64(phits)
+		c.TotalLatencySum += float64(totalLat)
+		c.NetworkLatencySum += float64(netLat)
+		c.LocalMis += int64(localMis)
+		c.GlobalMis += int64(globalMis)
+	}
+}
+
+// RecordInjected accounts one packet generated at cycle in phase and
+// accepted into an injection queue.
+func (s *Sheet) RecordInjected(cycle int64, phase int) {
+	s.Generated++
+	s.Injected++
+	if s.windowWidth > 0 {
+		s.windowAt(cycle).Generated++
+	}
+	if c := s.phaseAt(phase); c != nil {
+		c.Generated++
+		c.Injected++
+	}
+}
+
+// RecordInjectionLost accounts one generation event dropped at cycle in
+// phase because the injection queue was full.
+func (s *Sheet) RecordInjectionLost(cycle int64, phase int) {
+	s.Generated++
+	s.InjectionLost++
+	if s.windowWidth > 0 {
+		w := s.windowAt(cycle)
+		w.Generated++
+		w.InjectionLost++
+	}
+	if c := s.phaseAt(phase); c != nil {
+		c.Generated++
+		c.InjectionLost++
+	}
 }
 
 // Merge adds other into s.
@@ -85,10 +265,29 @@ func (s *Sheet) Merge(other *Sheet) {
 	for i := range s.latHist {
 		s.latHist[i] += other.latHist[i]
 	}
+	for len(s.windows) < len(other.windows) {
+		s.windows = append(s.windows, windowCell{})
+	}
+	for i := range other.windows {
+		s.windows[i].merge(&other.windows[i])
+	}
+	for i := range other.phaseCells {
+		if i < len(s.phaseCells) {
+			s.phaseCells[i].merge(&other.phaseCells[i])
+		}
+	}
 }
 
-// Reset zeroes all counters (used at the warmup/measurement boundary).
-func (s *Sheet) Reset() { *s = Sheet{} }
+// Reset zeroes the run counters (used at the warmup/measurement boundary).
+// Window and phase accumulators survive: the Timeline and the per-phase
+// digests span the whole run by design.
+func (s *Sheet) Reset() {
+	*s = Sheet{
+		windowWidth: s.windowWidth,
+		windows:     s.windows,
+		phaseCells:  s.phaseCells,
+	}
+}
 
 // LatencyPercentile returns an approximation (bucket upper bound) of the
 // q-th percentile of total latency, q in [0, 100]. It returns NaN when no
@@ -112,6 +311,143 @@ func (s *Sheet) LatencyPercentile(q float64) float64 {
 		}
 	}
 	return math.Inf(1)
+}
+
+// Window is one fixed-width snapshot of a run's Timeline. Rates with no
+// deliveries in the window report zero (not NaN) so timelines serialize
+// cleanly.
+type Window struct {
+	Start int64 // first cycle of the window
+	End   int64 // one past the last cycle covered
+
+	AcceptedLoad       float64 // phits/(node·cycle) delivered in the window
+	AvgTotalLatency    float64 // of packets delivered in the window
+	P99Latency         float64
+	LocalMisrouteRate  float64 // local misroutes per packet delivered in the window
+	GlobalMisrouteRate float64
+
+	Delivered     int64
+	Generated     int64
+	InjectionLost int64
+}
+
+// Timeline is the windowed time series of a run: the whole run (warmup
+// included) cut into fixed-width windows, the last one possibly shorter.
+type Timeline struct {
+	WindowCycles int64
+	Windows      []Window
+}
+
+// PhaseInfo describes one workload phase to the digester: its label, the
+// node count of its job, and its [Start, Start+Duration) activity span
+// (Duration 0 = until the end of the run).
+type PhaseInfo struct {
+	Label    string
+	Nodes    int
+	Start    int64
+	Duration int64
+}
+
+// PhaseDigest summarizes the packets one workload phase generated,
+// wherever in the run they delivered. AcceptedLoad normalizes by the
+// phase's activity span and its job's node count.
+type PhaseDigest struct {
+	Index int
+	Label string
+	Nodes int
+	Start int64
+	End   int64
+
+	AcceptedLoad       float64
+	AvgTotalLatency    float64
+	AvgNetworkLatency  float64
+	LocalMisrouteRate  float64
+	GlobalMisrouteRate float64
+
+	Generated     int64
+	InjectionLost int64
+	Delivered     int64
+}
+
+// Timeline digests the window accumulators into the run's time series.
+// It returns nil when windows were not configured; totalCycles caps the
+// last window's span. The timeline always covers the whole run: windows
+// past the last recorded event (a quiet drain tail, an ended job) come
+// out zero-valued rather than missing.
+func (s *Sheet) Timeline(totalCycles int64, nodes int) *Timeline {
+	if s.windowWidth <= 0 {
+		return nil
+	}
+	n := int((totalCycles + s.windowWidth - 1) / s.windowWidth)
+	if n < len(s.windows) {
+		n = len(s.windows)
+	}
+	t := &Timeline{WindowCycles: s.windowWidth, Windows: make([]Window, n)}
+	for i := range t.Windows {
+		w := &t.Windows[i]
+		w.Start = int64(i) * s.windowWidth
+		w.End = w.Start + s.windowWidth
+		if w.End > totalCycles {
+			w.End = totalCycles
+		}
+		if i >= len(s.windows) {
+			continue
+		}
+		c := &s.windows[i]
+		w.Delivered = c.Delivered
+		w.Generated = c.Generated
+		w.InjectionLost = c.InjectionLost
+		if span := w.End - w.Start; span > 0 && nodes > 0 {
+			w.AcceptedLoad = float64(c.PhitsDelivered) / float64(span) / float64(nodes)
+		}
+		if c.Delivered > 0 {
+			d := float64(c.Delivered)
+			w.AvgTotalLatency = c.TotalLatencySum / d
+			w.P99Latency = c.p99()
+			w.LocalMisrouteRate = float64(c.LocalMis) / d
+			w.GlobalMisrouteRate = float64(c.GlobalMis) / d
+		}
+	}
+	return t
+}
+
+// PhaseDigests digests the per-phase accumulators; infos must be indexed
+// by workload-global phase id. It returns nil when phases were not
+// configured.
+func (s *Sheet) PhaseDigests(infos []PhaseInfo, totalCycles int64) []PhaseDigest {
+	if len(s.phaseCells) == 0 {
+		return nil
+	}
+	out := make([]PhaseDigest, len(s.phaseCells))
+	for i := range s.phaseCells {
+		c := &s.phaseCells[i]
+		d := &out[i]
+		d.Index = i
+		d.Generated = c.Generated
+		d.InjectionLost = c.InjectionLost
+		d.Delivered = c.Delivered
+		if i < len(infos) {
+			info := infos[i]
+			d.Label = info.Label
+			d.Nodes = info.Nodes
+			d.Start = info.Start
+			d.End = totalCycles
+			if info.Duration > 0 && info.Start+info.Duration < totalCycles {
+				d.End = info.Start + info.Duration
+			}
+			if span := d.End - d.Start; span > 0 && info.Nodes > 0 {
+				d.AcceptedLoad = float64(c.PhitsDelivered) / float64(span) / float64(info.Nodes)
+			}
+		}
+		if c.Delivered > 0 {
+			n := float64(c.Delivered)
+			d.AvgTotalLatency = c.TotalLatencySum / n
+			d.AvgNetworkLatency = c.NetworkLatencySum / n
+			d.LocalMisrouteRate = float64(c.LocalMis) / n
+			d.GlobalMisrouteRate = float64(c.GlobalMis) / n
+		}
+	}
+	return out
 }
 
 // Result is the digest of one simulation run.

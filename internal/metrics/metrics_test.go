@@ -11,7 +11,7 @@ func TestRecordAndDigest(t *testing.T) {
 	s.Injected = 9
 	s.InjectionLost = 1
 	for i := 0; i < 4; i++ {
-		s.RecordDelivery(8, int64(100+i*10), int64(90+i*10), 2, 1, 1, 0, 0)
+		s.RecordDelivery(0, -1, 8, int64(100+i*10), int64(90+i*10), 2, 1, 1, 0, 0)
 	}
 	r := Digest(&s, 100, 8, 0, 0)
 	if r.Delivered != 4 {
@@ -37,8 +37,8 @@ func TestRecordAndDigest(t *testing.T) {
 
 func TestMerge(t *testing.T) {
 	var a, b Sheet
-	a.RecordDelivery(8, 100, 90, 1, 1, 0, 0, 0)
-	b.RecordDelivery(8, 200, 180, 3, 2, 1, 1, 2)
+	a.RecordDelivery(0, -1, 8, 100, 90, 1, 1, 0, 0, 0)
+	b.RecordDelivery(0, -1, 8, 200, 180, 3, 2, 1, 1, 2)
 	b.Generated = 5
 	a.Merge(&b)
 	if a.Delivered != 2 || a.Generated != 5 {
@@ -51,7 +51,7 @@ func TestMerge(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	var s Sheet
-	s.RecordDelivery(8, 50, 40, 1, 0, 0, 0, 0)
+	s.RecordDelivery(0, -1, 8, 50, 40, 1, 0, 0, 0, 0)
 	s.Reset()
 	if s.Delivered != 0 || s.TotalLatencySum != 0 {
 		t.Fatalf("reset incomplete: %+v", s)
@@ -65,7 +65,7 @@ func TestPercentiles(t *testing.T) {
 	var s Sheet
 	// 100 packets with latencies 16, 32, ..., 1600: well within range.
 	for i := 1; i <= 100; i++ {
-		s.RecordDelivery(1, int64(16*i), 0, 0, 0, 0, 0, 0)
+		s.RecordDelivery(0, -1, 1, int64(16*i), 0, 0, 0, 0, 0, 0)
 	}
 	p50 := s.LatencyPercentile(50)
 	if p50 < 700 || p50 > 900 {
@@ -79,7 +79,7 @@ func TestPercentiles(t *testing.T) {
 
 func TestPercentileOverflow(t *testing.T) {
 	var s Sheet
-	s.RecordDelivery(1, latencyMax*2, 0, 0, 0, 0, 0, 0)
+	s.RecordDelivery(0, -1, 1, latencyMax*2, 0, 0, 0, 0, 0, 0)
 	if got := s.LatencyPercentile(50); !math.IsInf(got, 1) {
 		t.Fatalf("overflow percentile = %v, want +Inf", got)
 	}
@@ -103,6 +103,119 @@ func TestLinkUtilization(t *testing.T) {
 	}
 	if r.GlobalLinkUtil != 1.0 {
 		t.Fatalf("global util %v", r.GlobalLinkUtil)
+	}
+}
+
+func TestWindowsCollectAndDigest(t *testing.T) {
+	var s Sheet
+	s.Configure(100, 0)
+	s.RecordInjected(10, -1)
+	s.RecordInjected(150, -1)
+	s.RecordInjectionLost(160, -1)
+	s.RecordDelivery(50, -1, 8, 40, 30, 1, 1, 1, 0, 0)
+	s.RecordDelivery(120, -1, 8, 80, 70, 1, 1, 0, 1, 0)
+	s.RecordDelivery(130, -1, 8, 120, 110, 1, 1, 0, 0, 0)
+
+	tl := s.Timeline(250, 4)
+	if tl == nil || tl.WindowCycles != 100 {
+		t.Fatalf("timeline %+v", tl)
+	}
+	if len(tl.Windows) != 3 {
+		t.Fatalf("%d windows, want 3 (the timeline covers all of totalCycles)", len(tl.Windows))
+	}
+	w0, w1 := tl.Windows[0], tl.Windows[1]
+	if w0.Start != 0 || w0.End != 100 || w1.Start != 100 || w1.End != 200 {
+		t.Fatalf("window spans [%d,%d) [%d,%d)", w0.Start, w0.End, w1.Start, w1.End)
+	}
+	if w2 := tl.Windows[2]; w2.Start != 200 || w2.End != 250 || w2.Delivered != 0 || w2.AcceptedLoad != 0 {
+		t.Fatalf("padded quiet window %+v", w2)
+	}
+	if w0.Delivered != 1 || w1.Delivered != 2 {
+		t.Fatalf("deliveries %d/%d", w0.Delivered, w1.Delivered)
+	}
+	if w0.Generated != 1 || w1.Generated != 2 || w1.InjectionLost != 1 {
+		t.Fatalf("generation counts %d/%d lost %d", w0.Generated, w1.Generated, w1.InjectionLost)
+	}
+	// 8 phits over a 100-cycle window and 4 nodes.
+	if want := 8.0 / 100 / 4; math.Abs(w0.AcceptedLoad-want) > 1e-12 {
+		t.Fatalf("window accepted %v, want %v", w0.AcceptedLoad, want)
+	}
+	if w1.AvgTotalLatency != 100 {
+		t.Fatalf("window avg latency %v, want 100", w1.AvgTotalLatency)
+	}
+	if w0.LocalMisrouteRate != 1 || w1.GlobalMisrouteRate != 0.5 {
+		t.Fatalf("window misroute rates %v/%v", w0.LocalMisrouteRate, w1.GlobalMisrouteRate)
+	}
+	if w1.P99Latency <= 0 || w1.P99Latency > latencyMax {
+		t.Fatalf("window p99 %v out of range", w1.P99Latency)
+	}
+}
+
+func TestWindowsLastWindowClamped(t *testing.T) {
+	var s Sheet
+	s.Configure(100, 0)
+	s.RecordDelivery(130, -1, 10, 40, 30, 0, 0, 0, 0, 0)
+	tl := s.Timeline(150, 1)
+	if got := tl.Windows[1].End; got != 150 {
+		t.Fatalf("last window ends at %d, want the run end 150", got)
+	}
+	// 10 phits over the 50-cycle partial window.
+	if want := 10.0 / 50; math.Abs(tl.Windows[1].AcceptedLoad-want) > 1e-12 {
+		t.Fatalf("partial-window accepted %v, want %v", tl.Windows[1].AcceptedLoad, want)
+	}
+}
+
+func TestWindowsSurviveResetAndMerge(t *testing.T) {
+	var a, b Sheet
+	a.Configure(100, 2)
+	b.Configure(100, 2)
+	a.RecordDelivery(50, 0, 8, 40, 30, 0, 0, 0, 0, 0)
+	a.Reset() // warmup boundary: run counters clear, windows stay
+	if a.Delivered != 0 {
+		t.Fatal("reset kept run counters")
+	}
+	b.RecordDelivery(250, 1, 8, 60, 50, 0, 0, 0, 0, 0)
+	a.Merge(&b)
+	tl := a.Timeline(300, 1)
+	if len(tl.Windows) != 3 {
+		t.Fatalf("%d windows after merge, want 3", len(tl.Windows))
+	}
+	if tl.Windows[0].Delivered != 1 || tl.Windows[2].Delivered != 1 {
+		t.Fatalf("merged windows lost deliveries: %+v", tl.Windows)
+	}
+	ds := a.PhaseDigests([]PhaseInfo{
+		{Label: "a", Nodes: 1, Start: 0, Duration: 150},
+		{Label: "b", Nodes: 1, Start: 150},
+	}, 300)
+	if len(ds) != 2 || ds[0].Delivered != 1 || ds[1].Delivered != 1 {
+		t.Fatalf("phase digests %+v", ds)
+	}
+	if ds[0].End != 150 || ds[1].End != 300 {
+		t.Fatalf("phase spans end at %d/%d, want 150/300", ds[0].End, ds[1].End)
+	}
+}
+
+func TestPhaseDigestRates(t *testing.T) {
+	var s Sheet
+	s.Configure(0, 1)
+	s.RecordInjected(0, 0)
+	s.RecordInjected(0, 0)
+	s.RecordInjectionLost(5, 0)
+	s.RecordDelivery(90, 0, 10, 50, 40, 2, 1, 1, 1, 0)
+	ds := s.PhaseDigests([]PhaseInfo{{Label: "x", Nodes: 2, Start: 0, Duration: 100}}, 400)
+	d := ds[0]
+	if d.Generated != 3 || d.InjectionLost != 1 || d.Delivered != 1 {
+		t.Fatalf("digest counters %+v", d)
+	}
+	// 10 phits over the 100-cycle phase span and 2 nodes.
+	if want := 10.0 / 100 / 2; math.Abs(d.AcceptedLoad-want) > 1e-12 {
+		t.Fatalf("phase accepted %v, want %v", d.AcceptedLoad, want)
+	}
+	if d.AvgTotalLatency != 50 || d.AvgNetworkLatency != 40 {
+		t.Fatalf("phase latencies %v/%v", d.AvgTotalLatency, d.AvgNetworkLatency)
+	}
+	if d.LocalMisrouteRate != 1 || d.GlobalMisrouteRate != 1 {
+		t.Fatalf("phase misroute rates %v/%v", d.LocalMisrouteRate, d.GlobalMisrouteRate)
 	}
 }
 

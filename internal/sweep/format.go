@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	dragonfly "repro"
 )
 
 // Metric selects which y-value of a Point a rendering uses.
@@ -107,6 +109,72 @@ func WriteMarkdown(w io.Writer, xLabel string, metric Metric, series []Series) e
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// TimelineMetric selects the per-window y-value of a timeline rendering.
+type TimelineMetric int
+
+// Metrics of the transient (time-series) figures.
+const (
+	WindowAccepted TimelineMetric = iota // phits/(node·cycle) per window
+	WindowLatency                        // average latency of the window's deliveries
+	WindowP99                            // p99 latency of the window's deliveries
+)
+
+// String names the metric as an axis label.
+func (m TimelineMetric) String() string {
+	switch m {
+	case WindowAccepted:
+		return "Accepted load (phits/(node*cycle))"
+	case WindowLatency:
+		return "Average latency (cycles)"
+	case WindowP99:
+		return "p99 latency (cycles)"
+	}
+	return "unknown"
+}
+
+func (m TimelineMetric) value(w dragonfly.Window) float64 {
+	switch m {
+	case WindowAccepted:
+		return w.AcceptedLoad
+	case WindowLatency:
+		return w.AvgTotalLatency
+	case WindowP99:
+		return w.P99Latency
+	}
+	return math.NaN()
+}
+
+// TimelineSeries is one curve of a transient figure: a run's timeline
+// under a series label (typically the mechanism name).
+type TimelineSeries struct {
+	Name     string
+	Timeline *dragonfly.Timeline
+}
+
+// WriteTimelineDAT renders per-window time series as a gnuplot-style data
+// file: one block per series, x = the window's midpoint cycle. Series
+// without a timeline (failed points) render as empty blocks.
+func WriteTimelineDAT(w io.Writer, metric TimelineMetric, series []TimelineSeries) error {
+	if _, err := fmt.Fprintf(w, "# x: Cycle\n# y: %s\n", metric); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "\n# series: %s\n", s.Name); err != nil {
+			return err
+		}
+		if s.Timeline == nil {
+			continue
+		}
+		for _, win := range s.Timeline.Windows {
+			mid := float64(win.Start+win.End) / 2
+			if _, err := fmt.Fprintf(w, "%g\t%g\n", mid, metric.value(win)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Saturation returns the highest accepted load seen in a series — the

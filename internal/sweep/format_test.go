@@ -164,3 +164,34 @@ func TestSaturation(t *testing.T) {
 		t.Fatalf("empty series saturation %v", got)
 	}
 }
+
+func TestWriteTimelineDAT(t *testing.T) {
+	tl := &dragonfly.Timeline{WindowCycles: 100, Windows: []dragonfly.Window{
+		{Start: 0, End: 100, AcceptedLoad: 0.2, AvgTotalLatency: 120, P99Latency: 256},
+		{Start: 100, End: 150, AcceptedLoad: 0.1, AvgTotalLatency: 300, P99Latency: 512},
+	}}
+	var buf strings.Builder
+	err := WriteTimelineDAT(&buf, WindowAccepted, []TimelineSeries{
+		{Name: "OLM", Timeline: tl},
+		{Name: "broken", Timeline: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# x: Cycle", "# series: OLM", "# series: broken",
+		"50\t0.2", "125\t0.1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline dat missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteTimelineDAT(&buf, WindowLatency, []TimelineSeries{{Name: "x", Timeline: tl}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "50\t120") {
+		t.Fatalf("latency metric not rendered:\n%s", buf.String())
+	}
+}

@@ -138,6 +138,51 @@ func TestMixFractions(t *testing.T) {
 	}
 }
 
+// TestMixComponentDistribution pins down where each side of the MIX split
+// actually lands: every global draw must hit exactly group src+h (the
+// ADVG+h component), every local draw exactly router idx+1 of the source
+// group (ADVL+1), and the split itself must track the configured fraction.
+func TestMixComponentDistribution(t *testing.T) {
+	p := topo(t, 3)
+	g, err := NewAdversarialGlobal(p, p.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewAdversarialLocal(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frac = 0.6
+	m, err := NewMix(g, l, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17, 3)
+	const draws = 30000
+	global := 0
+	src := 5 * p.H // first node of router 5 (group 0, index 5)
+	srcRouter := p.RouterOfNode(src)
+	srcGroup, srcIdx := p.GroupOf(srcRouter), p.IndexInGroup(srcRouter)
+	for i := 0; i < draws; i++ {
+		d := m.Dest(src, r)
+		dr := p.RouterOfNode(d)
+		if p.GroupOf(dr) != srcGroup {
+			global++
+			if want := (srcGroup + p.H) % p.Groups; p.GroupOf(dr) != want {
+				t.Fatalf("global draw landed in group %d, want %d", p.GroupOf(dr), want)
+			}
+		} else {
+			if want := (srcIdx + 1) % p.RoutersPerGroup; p.IndexInGroup(dr) != want {
+				t.Fatalf("local draw landed on router index %d, want %d", p.IndexInGroup(dr), want)
+			}
+		}
+	}
+	got := float64(global) / draws
+	if got < frac-0.02 || got > frac+0.02 {
+		t.Fatalf("global fraction %.3f, want about %.2f", got, frac)
+	}
+}
+
 func TestMixRejectsBadFraction(t *testing.T) {
 	p := topo(t, 2)
 	g, _ := NewAdversarialGlobal(p, 1)

@@ -1,0 +1,197 @@
+package traffic
+
+import (
+	"testing"
+)
+
+// wlPhase builds a steady test phase over pattern p.
+func wlPhase(t *testing.T, p Pattern, load float64, dur int64) Phase {
+	t.Helper()
+	proc, err := NewBernoulli(load, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Phase{Pattern: p, Process: proc, Duration: dur, Label: p.Name()}
+}
+
+func TestWorkloadCompile(t *testing.T) {
+	p := topo(t, 2)
+	un := NewUniform(p)
+	adv, err := NewAdversarialGlobal(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := p.Nodes / 2
+	w, err := NewWorkload(p.Nodes,
+		Job{First: 0, Last: half - 1, Phases: []Phase{
+			wlPhase(t, un, 0.2, 1000), wlPhase(t, adv, 0.4, 0),
+		}},
+		Job{First: half, Last: p.Nodes - 1, Phases: []Phase{
+			wlPhase(t, un, 0.1, 0),
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Finite() || w.Total() != -1 {
+		t.Fatalf("steady workload reported finite (total %d)", w.Total())
+	}
+	if w.TotalPhases() != 3 {
+		t.Fatalf("TotalPhases = %d, want 3", w.TotalPhases())
+	}
+	if w.JobOf(0) != 0 || w.JobOf(half-1) != 0 || w.JobOf(half) != 1 || w.JobOf(p.Nodes-1) != 1 {
+		t.Fatal("JobOf mapped nodes to the wrong jobs")
+	}
+	if w.PhaseID(0, 1) != 1 || w.PhaseID(1, 0) != 2 {
+		t.Fatalf("global phase ids: %d, %d", w.PhaseID(0, 1), w.PhaseID(1, 0))
+	}
+	if w.Jobs[0].Start(1) != 1000 {
+		t.Fatalf("phase 1 starts at %d, want 1000", w.Jobs[0].Start(1))
+	}
+}
+
+func TestWorkloadPhaseAt(t *testing.T) {
+	p := topo(t, 2)
+	un := NewUniform(p)
+	w, err := NewWorkload(p.Nodes, Job{First: 0, Last: p.Nodes - 1, Phases: []Phase{
+		wlPhase(t, un, 0.2, 100),
+		wlPhase(t, un, 0.3, 200),
+		wlPhase(t, un, 0.4, 50), // bounded final phase: job ends at 350
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur int32
+	cases := []struct {
+		cycle  int64
+		phase  int
+		active bool
+	}{
+		{0, 0, true}, {99, 0, true}, {100, 1, true}, {250, 1, true},
+		{300, 2, true}, {349, 2, true}, {350, 2, false}, {1000, 2, false},
+	}
+	for _, c := range cases {
+		pi, active := w.PhaseAt(0, c.cycle, &cur)
+		if pi != c.phase || active != c.active {
+			t.Errorf("PhaseAt(cycle %d) = (%d, %v), want (%d, %v)",
+				c.cycle, pi, active, c.phase, c.active)
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	p := topo(t, 2)
+	un := NewUniform(p)
+	ok := wlPhase(t, un, 0.2, 0)
+	mid := wlPhase(t, un, 0.2, 100)
+
+	cases := []struct {
+		name string
+		jobs []Job
+	}{
+		{"no jobs", nil},
+		{"no phases", []Job{{First: 0, Last: 1}}},
+		{"bad range", []Job{{First: 5, Last: 2, Phases: []Phase{ok}}}},
+		{"range beyond nodes", []Job{{First: 0, Last: p.Nodes, Phases: []Phase{ok}}}},
+		{"overlap", []Job{
+			{First: 0, Last: 10, Phases: []Phase{ok}},
+			{First: 10, Last: 20, Phases: []Phase{ok}},
+		}},
+		{"zero mid duration", []Job{{First: 0, Last: 1, Phases: []Phase{ok, mid}}}},
+	}
+	for _, c := range cases {
+		if _, err := NewWorkload(p.Nodes, c.jobs...); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+
+	// A finite phase must declare its per-job packet total.
+	burst, err := NewBurst(5, p.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewWorkload(p.Nodes, Job{First: 0, Last: 1, Phases: []Phase{
+		{Pattern: un, Process: burst, Label: "b"},
+	}})
+	if err == nil {
+		t.Error("finite phase without TotalPackets accepted")
+	}
+}
+
+func TestWorkloadFiniteTotals(t *testing.T) {
+	p := topo(t, 2)
+	un := NewUniform(p)
+	mkBurst := func(pkts, nodes int) Phase {
+		b, err := NewBurst(pkts, p.Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Phase{Pattern: un, Process: b, Label: "burst",
+			TotalPackets: int64(pkts) * int64(nodes)}
+	}
+	half := p.Nodes / 2
+	w, err := NewWorkload(p.Nodes,
+		Job{First: 0, Last: half - 1, Phases: []Phase{mkBurst(3, half)}},
+		Job{First: half, Last: p.Nodes - 1, Phases: []Phase{mkBurst(7, p.Nodes-half)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Finite() {
+		t.Fatal("all-burst workload not finite")
+	}
+	want := int64(3*half + 7*(p.Nodes-half))
+	if w.Total() != want {
+		t.Fatalf("Total = %d, want %d", w.Total(), want)
+	}
+}
+
+func TestSingleWorkloadWrapsLegacyPair(t *testing.T) {
+	p := topo(t, 2)
+	un := NewUniform(p)
+	burst, err := NewBurst(4, p.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewSingleWorkload(un, burst, p.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Finite() || w.Total() != int64(4*p.Nodes) {
+		t.Fatalf("wrapped burst: finite=%v total=%d", w.Finite(), w.Total())
+	}
+	if w.Name() != "UN" {
+		t.Fatalf("one-phase workload name %q, want the pattern name", w.Name())
+	}
+	if w.TotalPhases() != 1 || w.JobOf(0) != 0 || w.JobOf(p.Nodes-1) != 0 {
+		t.Fatal("wrap does not cover all nodes in one phase")
+	}
+}
+
+func TestWorkloadName(t *testing.T) {
+	p := topo(t, 2)
+	un := NewUniform(p)
+	adv, err := NewAdversarialGlobal(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(p.Nodes, Job{First: 0, Last: p.Nodes - 1, Phases: []Phase{
+		wlPhase(t, un, 0.2, 500), wlPhase(t, adv, 0.2, 0),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Name(), "UN→ADVG+2"; got != want {
+		t.Fatalf("Name = %q, want %q", got, want)
+	}
+	w2, err := NewWorkload(p.Nodes,
+		Job{First: 0, Last: 7, Phases: []Phase{wlPhase(t, un, 0.2, 0)}},
+		Job{First: 8, Last: 15, Phases: []Phase{wlPhase(t, adv, 0.2, 0)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w2.Name(), "0-7:UN|8-15:ADVG+2"; got != want {
+		t.Fatalf("Name = %q, want %q", got, want)
+	}
+}

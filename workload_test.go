@@ -1,0 +1,306 @@
+package dragonfly_test
+
+// Tests for the phased workload subsystem at the public API level: the
+// one-phase ≡ legacy equivalence, full-result (timeline included)
+// determinism across worker counts, multi-job partitioning, and the strict
+// configuration validation.
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	dragonfly "repro"
+)
+
+// phasedConfig is the shared transient scenario: UN switching to ADVG+2
+// mid-run, with a timeline.
+func phasedConfig(m dragonfly.Mechanism) dragonfly.Config {
+	cfg := dragonfly.PaperVCT(2)
+	cfg.Mechanism = m
+	cfg.LatLocal, cfg.LatGlobal = 4, 16
+	cfg.Warmup, cfg.Measure = 500, 1500
+	cfg.Seed = 23
+	cfg.Phases = []dragonfly.PhaseSpec{
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, Load: 0.2, Duration: 1200},
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 2}, Load: 0.2},
+	}
+	cfg.WindowCycles = 200
+	return cfg
+}
+
+// TestOnePhaseWorkloadEqualsLegacy is the compatibility contract: the
+// classic Traffic/Load trio and its one-element Phases spelling are the
+// same experiment — same canonical form (so they share cache entries) and
+// bit-identical results.
+func TestOnePhaseWorkloadEqualsLegacy(t *testing.T) {
+	legacy := fast(dragonfly.RLM)
+	legacy.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}
+	legacy.Load = 0.3
+
+	phased := fast(dragonfly.RLM)
+	phased.Phases = []dragonfly.PhaseSpec{
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, Load: 0.3},
+	}
+
+	if !reflect.DeepEqual(legacy.Canonical(), phased.Canonical()) {
+		t.Fatalf("canonical forms differ:\n legacy: %+v\n phased: %+v",
+			legacy.Canonical(), phased.Canonical())
+	}
+	a, err := dragonfly.Run(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dragonfly.Run(phased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("one-phase workload diverged from legacy config:\n legacy: %+v\n phased: %+v", a, b)
+	}
+	if a.Delivered == 0 {
+		t.Fatal("nothing delivered; the comparison proved nothing")
+	}
+	if a.Pattern != "ADVG+1" {
+		t.Fatalf("one-phase pattern label %q, want the plain pattern name", a.Pattern)
+	}
+}
+
+// TestPhasedDeterminismAcrossWorkers extends the engine's central
+// determinism promise to phased runs: the full Result — timeline windows
+// and per-phase digests included — must be bit-identical between serial
+// and 4-worker execution.
+func TestPhasedDeterminismAcrossWorkers(t *testing.T) {
+	for _, m := range []dragonfly.Mechanism{dragonfly.Minimal, dragonfly.OLM} {
+		serial := phasedConfig(m)
+		serial.Workers = 1
+		parallel := phasedConfig(m)
+		parallel.Workers = 4
+		a, err := dragonfly.Run(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dragonfly.Run(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			aj, _ := json.Marshal(a)
+			bj, _ := json.Marshal(b)
+			t.Fatalf("%v: worker count changed the phased result:\n 1 worker : %s\n 4 workers: %s", m, aj, bj)
+		}
+		if a.Timeline == nil || len(a.Timeline.Windows) == 0 {
+			t.Fatalf("%v: no timeline collected", m)
+		}
+		if len(a.PhaseDigests) != 2 {
+			t.Fatalf("%v: %d phase digests, want 2", m, len(a.PhaseDigests))
+		}
+		if a.Delivered == 0 {
+			t.Fatalf("%v: nothing delivered", m)
+		}
+	}
+}
+
+// TestPhasedRunShape sanity-checks the transient scenario itself: the
+// phase digests carry the right spans and labels, and the timeline covers
+// the whole run in WindowCycles-wide windows.
+func TestPhasedRunShape(t *testing.T) {
+	res, err := dragonfly.Run(phasedConfig(dragonfly.OLM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := res.PhaseDigests[0], res.PhaseDigests[1]
+	if p0.Label != "UN@0.2" || p1.Label != "ADVG+2@0.2" {
+		t.Fatalf("phase labels %q, %q", p0.Label, p1.Label)
+	}
+	if p0.Start != 0 || p0.End != 1200 || p1.Start != 1200 || p1.End != 2000 {
+		t.Fatalf("phase spans [%d,%d) and [%d,%d), want [0,1200) and [1200,2000)",
+			p0.Start, p0.End, p1.Start, p1.End)
+	}
+	if p0.Delivered == 0 || p1.Delivered == 0 {
+		t.Fatalf("phase deliveries %d, %d", p0.Delivered, p1.Delivered)
+	}
+	tl := res.Timeline
+	if tl.WindowCycles != 200 || len(tl.Windows) != 10 {
+		t.Fatalf("timeline: %d-cycle windows × %d, want 200 × 10", tl.WindowCycles, len(tl.Windows))
+	}
+	var delivered int64
+	for i, w := range tl.Windows {
+		if w.Start != int64(i)*200 || w.End != w.Start+200 {
+			t.Fatalf("window %d spans [%d, %d)", i, w.Start, w.End)
+		}
+		delivered += w.Delivered
+	}
+	if delivered == 0 {
+		t.Fatal("timeline recorded no deliveries")
+	}
+	if res.Pattern != "UN@0.2→ADVG+2@0.2" {
+		t.Fatalf("phased pattern label %q", res.Pattern)
+	}
+}
+
+// TestMultiJobWorkload partitions the machine into two jobs with
+// independent schedules and checks both actually ran.
+func TestMultiJobWorkload(t *testing.T) {
+	cfg := fast(dragonfly.OLM)
+	_, nodes, _, err := dragonfly.NetworkSize(cfg.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := nodes / 2
+	cfg.Workload = []dragonfly.JobSpec{
+		{FirstNode: 0, LastNode: half - 1, Phases: []dragonfly.PhaseSpec{
+			{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, Load: 0.2},
+		}},
+		{FirstNode: half, LastNode: nodes - 1, Phases: []dragonfly.PhaseSpec{
+			{Traffic: dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: 1}, Load: 0.4},
+		}},
+	}
+	res, err := dragonfly.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PhaseDigests) != 2 {
+		t.Fatalf("%d phase digests, want 2", len(res.PhaseDigests))
+	}
+	for _, ph := range res.PhaseDigests {
+		if ph.Nodes != half {
+			t.Fatalf("phase %q spans %d nodes, want %d", ph.Label, ph.Nodes, half)
+		}
+		if ph.Delivered == 0 {
+			t.Fatalf("phase %q delivered nothing", ph.Label)
+		}
+	}
+}
+
+// TestBoundedFinalPhaseGoesIdle checks the quiet-tail semantics: after a
+// bounded final phase expires its nodes stop generating.
+func TestBoundedFinalPhaseGoesIdle(t *testing.T) {
+	cfg := fast(dragonfly.Minimal)
+	cfg.Warmup, cfg.Measure = 500, 1500 // 2000-cycle run
+	cfg.WindowCycles = 500
+	cfg.Phases = []dragonfly.PhaseSpec{
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, Load: 0.3, Duration: 500},
+	}
+	res, err := dragonfly.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := res.Timeline.Windows
+	if len(wins) != 4 {
+		t.Fatalf("%d windows, want 4: the timeline must cover the whole run, quiet tail included", len(wins))
+	}
+	if wins[0].Generated == 0 {
+		t.Fatal("active window generated nothing")
+	}
+	for _, w := range wins[1:] {
+		if w.Generated != 0 {
+			t.Fatalf("window [%d, %d) generated %d packets after the job ended",
+				w.Start, w.End, w.Generated)
+		}
+	}
+}
+
+// TestTruncatedBurstPhaseDrainsWithoutDeadlock: a burst phase whose
+// duration expires before every node finished sending leaves the workload
+// total unreachable; the run must still end as a normal drain (no
+// deadlock report, no MaxCycles spin).
+func TestTruncatedBurstPhaseDrainsWithoutDeadlock(t *testing.T) {
+	cfg := fast(dragonfly.RLM)
+	cfg.Warmup, cfg.Measure = 0, 0
+	cfg.MaxCycles = 500000
+	cfg.Phases = []dragonfly.PhaseSpec{
+		// 50 packets/node cannot be injected in 5 cycles (1 packet/cycle max).
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, BurstPackets: 50, Duration: 5},
+		{Traffic: dragonfly.Traffic{Kind: dragonfly.UN}, BurstPackets: 5},
+	}
+	res, err := dragonfly.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock {
+		t.Fatal("truncated burst phase reported as deadlock")
+	}
+	if res.Cycles >= cfg.MaxCycles {
+		t.Fatalf("run spun to MaxCycles (%d cycles)", res.Cycles)
+	}
+	if res.Delivered == 0 || res.ConsumptionCycles <= 0 {
+		t.Fatalf("drain did not complete: %+v", res)
+	}
+}
+
+// TestStrictValidation exercises the Config.Validate error paths.
+func TestStrictValidation(t *testing.T) {
+	un := dragonfly.Traffic{Kind: dragonfly.UN}
+	cases := []struct {
+		name string
+		mut  func(*dragonfly.Config)
+	}{
+		{"load zero", func(c *dragonfly.Config) { c.Load = 0 }},
+		{"load negative", func(c *dragonfly.Config) { c.Load = -0.5 }},
+		{"load above 1", func(c *dragonfly.Config) { c.Load = 1.5 }},
+		{"load and burst", func(c *dragonfly.Config) { c.BurstPackets = 10 }},
+		{"unknown kind", func(c *dragonfly.Config) { c.Traffic.Kind = dragonfly.TrafficKind(42) }},
+		{"ADVG offset high", func(c *dragonfly.Config) {
+			c.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 9999}
+		}},
+		{"ADVG offset negative", func(c *dragonfly.Config) {
+			c.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: -1}
+		}},
+		{"ADVL offset high", func(c *dragonfly.Config) {
+			c.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVL, Offset: 99}
+		}},
+		{"MIX percent high", func(c *dragonfly.Config) {
+			c.Traffic = dragonfly.Traffic{Kind: dragonfly.MIX, GlobalPercent: 150}
+		}},
+		{"negative window", func(c *dragonfly.Config) { c.WindowCycles = -1 }},
+		{"phases and workload", func(c *dragonfly.Config) {
+			ph := []dragonfly.PhaseSpec{{Traffic: un, Load: 0.1}}
+			c.Load = 0
+			c.Phases = ph
+			c.Workload = []dragonfly.JobSpec{{Phases: ph}}
+		}},
+		{"phases plus legacy load", func(c *dragonfly.Config) {
+			c.Phases = []dragonfly.PhaseSpec{{Traffic: un, Load: 0.1}}
+		}},
+		{"mid phase without duration", func(c *dragonfly.Config) {
+			c.Load = 0
+			c.Phases = []dragonfly.PhaseSpec{
+				{Traffic: un, Load: 0.1},
+				{Traffic: un, Load: 0.2},
+			}
+		}},
+		{"overlapping jobs", func(c *dragonfly.Config) {
+			c.Load = 0
+			ph := []dragonfly.PhaseSpec{{Traffic: un, Load: 0.1}}
+			c.Workload = []dragonfly.JobSpec{
+				{FirstNode: 0, LastNode: 10, Phases: ph},
+				{FirstNode: 10, LastNode: 20, Phases: ph},
+			}
+		}},
+		{"job range out of bounds", func(c *dragonfly.Config) {
+			c.Load = 0
+			c.Workload = []dragonfly.JobSpec{{FirstNode: 5, LastNode: 1 << 30,
+				Phases: []dragonfly.PhaseSpec{{Traffic: un, Load: 0.1}}}}
+		}},
+	}
+	for _, c := range cases {
+		cfg := fast(dragonfly.Minimal)
+		cfg.Traffic = un
+		cfg.Load = 0.3
+		c.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", c.name)
+		}
+		if _, err := dragonfly.Run(cfg); err == nil {
+			t.Errorf("%s: Run accepted", c.name)
+		}
+	}
+
+	good := fast(dragonfly.Minimal)
+	good.Traffic = un
+	good.Load = 0.3
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
