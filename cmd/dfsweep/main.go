@@ -32,6 +32,7 @@ func main() {
 		offset    = flag.Int("offset", 1, "ADVG/ADVL offset")
 		globalPct = flag.Float64("globalpct", 50, "MIX: percent of ADVG+h traffic")
 		loads     = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.8,1.0", "comma-separated offered loads")
+		faults    = flag.String("faults", "", `fault scenario applied to every point, e.g. "g=0.1" (see README)`)
 		metric    = flag.String("metric", "accepted", "metric: accepted, latency, netlatency")
 		format    = flag.String("format", "dat", "output format: dat or md")
 		warmup    = flag.Int64("warmup", 2000, "warmup cycles")
@@ -54,6 +55,10 @@ func main() {
 	base.Seed = *seed
 	base.Traffic, err = cliutil.Traffic(*trafficK, *offset, *globalPct)
 	fatalIf(err)
+	if *faults != "" {
+		base.Faults, err = cliutil.Faults(*faults, *h)
+		fatalIf(err)
+	}
 
 	ms, err := cliutil.Mechanisms(*mechs)
 	fatalIf(err)

@@ -35,6 +35,7 @@ func main() {
 		load      = flag.Float64("load", 0.5, "offered load in phits/(node*cycle)")
 		burst     = flag.Int("burst", 0, "burst packets per node (0 = steady state)")
 		phases    = flag.String("phases", "", `phased workload spec, e.g. "UN@0.3x4000,ADVG+4@0.3" (overrides -traffic/-load/-burst; see README)`)
+		faults    = flag.String("faults", "", `fault scenario spec, e.g. "g=0.1;kill@5000=g0-4" (see README)`)
 		window    = flag.Int64("window", 0, "timeline window width in cycles (0 = no timeline)")
 		threshold = flag.Float64("threshold", 0.45, "misrouting threshold fraction")
 		warmup    = flag.Int64("warmup", 3000, "warmup cycles")
@@ -64,6 +65,10 @@ func main() {
 	cfg.Workers = *workers
 	cfg.WindowCycles = *window
 
+	if *faults != "" {
+		cfg.Faults, err = cliutil.Faults(*faults, *h)
+		fatalIf(err)
+	}
 	if *phases != "" {
 		cfg.Workload, err = cliutil.Phases(*phases)
 		fatalIf(err)
@@ -102,6 +107,9 @@ func main() {
 	fmt.Printf("hops/packet        %.2f local, %.2f global\n", res.AvgLocalHops, res.AvgGlobalHops)
 	fmt.Printf("misroutes/packet   %.3f local, %.3f global\n", res.LocalMisrouteRate, res.GlobalMisrouteRate)
 	fmt.Printf("delivered          %d packets over %d cycles\n", res.Delivered, res.Cycles)
+	if res.FaultDrops > 0 {
+		fmt.Printf("fault drops        %d packets (no surviving route)\n", res.FaultDrops)
+	}
 	fmt.Printf("link utilization   %.3f local, %.3f global\n", res.LocalLinkUtil, res.GlobalLinkUtil)
 	if res.ConsumptionCycles > 0 {
 		fmt.Printf("burst consumption  %d cycles\n", res.ConsumptionCycles)

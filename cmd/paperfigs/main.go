@@ -51,9 +51,11 @@ func main() {
 	var (
 		h        = flag.Int("h", 4, "dragonfly parameter (paper: 8)")
 		out      = flag.String("out", "results", "output directory")
-		figsFlag = flag.String("figs", "4,5,6,7,8,9,10,11,transient", "figures to regenerate")
+		figsFlag = flag.String("figs", "4,5,6,7,8,9,10,11,transient,resilience", "figures to regenerate")
 		tmechs   = flag.String("tmechs", "Minimal,Valiant,PiggyBacking,OLM", "mechanisms of the transient traffic-change figure")
 		tload    = flag.Float64("tload", 0.2, "offered load of the transient traffic-change figure")
+		rmechs   = flag.String("rmechs", "Minimal,Valiant,PiggyBacking,OLM", "mechanisms of the resilience figure")
+		rload    = flag.Float64("rload", 0.25, "offered load of the resilience figure")
 		warmup   = flag.Int64("warmup", 2000, "warmup cycles")
 		measure  = flag.Int64("measure", 4000, "measured cycles")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -133,6 +135,11 @@ func main() {
 		ms, err := cliutil.Mechanisms(*tmechs)
 		fatalIf(err)
 		fatalIf(e.figTransient(ctx, ms, *tload))
+	}
+	if want["resilience"] {
+		ms, err := cliutil.Mechanisms(*rmechs)
+		fatalIf(err)
+		fatalIf(e.figResilience(ms, *rload))
 	}
 	fmt.Fprintf(e.summary, "\nTotal regeneration time: %s.\n", time.Since(start).Round(time.Second))
 	sumPath := filepath.Join(*out, "summary.md")
@@ -428,6 +435,54 @@ func (e *env) figTransient(ctx context.Context, mechs []dragonfly.Mechanism, loa
 			o.Point.Series, before, after, last, recovered)
 	}
 	fmt.Fprintln(e.summary)
+	return nil
+}
+
+// figResilience produces the degraded-topology figure the paper never ran:
+// accepted load (and the fault-drop rate) under uniform traffic as the
+// fraction of failed global links grows. Adaptive mechanisms — Valiant and
+// Piggybacking re-drawing live detours at injection, OLM misrouting around
+// dead channels in transit — retain most of their accepted load, while
+// Minimal sheds every packet whose only channel died.
+func (e *env) figResilience(mechs []dragonfly.Mechanism, load float64) error {
+	base := e.vctBase()
+	base.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
+	base.Load = load
+	fracs := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4}
+	series, err := sweep.FaultSweep(base, mechs, fracs, e.opt)
+	if err = e.record(err); err != nil {
+		return err
+	}
+	if err := e.writePanel("figresilience_a_accepted",
+		fmt.Sprintf("Accepted load vs. failed global links, UN@%.2g, VCT", load),
+		"Failed global-link fraction", sweep.AcceptedLoad, series); err != nil {
+		return err
+	}
+	if err := e.writePanel("figresilience_b_droprate",
+		"Fault-drop rate vs. failed global links",
+		"Failed global-link fraction", sweep.FaultDropRate, series); err != nil {
+		return err
+	}
+	// Headline: each mechanism's accepted load at the worst degradation,
+	// relative to Minimal's.
+	var minimalWorst float64
+	for _, s := range series {
+		if s.Name == dragonfly.Minimal.String() && len(s.Points) > 0 {
+			minimalWorst = s.Points[len(s.Points)-1].Result.AcceptedLoad
+		}
+	}
+	if minimalWorst > 0 {
+		fmt.Fprintf(e.summary, "Accepted load at %.0f%% failed global links, relative to Minimal:\n\n",
+			100*fracs[len(fracs)-1])
+		for _, s := range series {
+			if s.Name == dragonfly.Minimal.String() || len(s.Points) == 0 {
+				continue
+			}
+			fmt.Fprintf(e.summary, "- %s: %.0f%%\n",
+				s.Name, 100*s.Points[len(s.Points)-1].Result.AcceptedLoad/minimalWorst)
+		}
+		fmt.Fprintln(e.summary)
+	}
 	return nil
 }
 

@@ -28,6 +28,7 @@ package dragonfly
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -196,6 +197,52 @@ type JobSpec struct {
 	Phases    []PhaseSpec
 }
 
+// LinkID names one full-duplex physical link by either of its ends: the
+// output port of the router driving one direction. Failing a link always
+// removes both directions. Canonicalization reduces the two spellings of a
+// link to the end with the smaller router id.
+type LinkID struct {
+	Router int
+	Port   int
+}
+
+// FaultEvent is one scheduled link state change: Link fails (or, with
+// Repair true, comes back) at the start of cycle At on the absolute
+// simulation clock, warmup included. Kills take effect for routing
+// immediately; traffic already committed to the link drains, and packets
+// elsewhere that lost their only surviving route are dropped and counted
+// in Result.FaultDrops.
+type FaultEvent struct {
+	At     int64
+	Repair bool
+	Link   LinkID
+}
+
+// FaultSpec describes a degraded dragonfly: links failed from the start
+// (explicitly, or as deterministic seeded fractions per link class) plus
+// dynamic mid-run failures and repairs. The zero value means a pristine
+// network and changes nothing — fault-free runs are bit-identical to a
+// config with no FaultSpec at all.
+type FaultSpec struct {
+	// Links lists links failed from cycle 0.
+	Links []LinkID `json:",omitempty"`
+	// GlobalFraction and LocalFraction fail a deterministic pseudo-random
+	// selection of that fraction of global/local links, drawn from the
+	// run's Seed; both must be in [0, 1). The same (H, fraction, Seed)
+	// always fails the same links, so results stay content-addressable.
+	GlobalFraction float64 `json:",omitempty"`
+	LocalFraction  float64 `json:",omitempty"`
+	// Events schedules mid-run kills and repairs, applied in At order
+	// (ties in canonical link order, kills before repairs).
+	Events []FaultEvent `json:",omitempty"`
+}
+
+// empty reports whether the spec describes a pristine network.
+func (f *FaultSpec) empty() bool {
+	return f == nil || (len(f.Links) == 0 && len(f.Events) == 0 &&
+		f.GlobalFraction == 0 && f.LocalFraction == 0)
+}
+
 // Config describes one simulation experiment. Zero fields take the paper's
 // defaults (see the field comments).
 type Config struct {
@@ -253,6 +300,15 @@ type Config struct {
 	// Result, covering the whole run including warmup.
 	WindowCycles int64
 
+	// Faults, when non-nil and non-empty, degrades the network: the
+	// listed (or seed-drawn) links are failed and the scheduled events
+	// kill/repair links mid-run. Configurations whose surviving links do
+	// not connect every router are rejected at build time. Mechanisms
+	// fall back to surviving candidates where their routing discipline
+	// allows; packets with no surviving route are dropped and counted in
+	// Result.FaultDrops.
+	Faults *FaultSpec `json:",omitempty"`
+
 	Warmup  int64 // steady-state warmup cycles (default 3000)
 	Measure int64 // steady-state measured cycles (default 6000)
 
@@ -287,8 +343,12 @@ type Result struct {
 	Delivered     int64
 	Generated     int64
 	InjectionLost int64
-	Cycles        int64
-	Nodes         int
+	// FaultDrops counts packets discarded in-network because link
+	// failures left them without a surviving route (always zero on
+	// fault-free runs).
+	FaultDrops int64
+	Cycles     int64
+	Nodes      int
 
 	// PhitsMoved is the total number of crossbar phit movements over the
 	// whole run (warmup included) — the engine's raw unit of work.
@@ -326,6 +386,7 @@ type Window struct {
 	Delivered     int64
 	Generated     int64
 	InjectionLost int64
+	FaultDrops    int64
 }
 
 // Timeline is a run's windowed time series — the raw material of the
@@ -354,6 +415,7 @@ type PhaseDigest struct {
 	Generated     int64
 	InjectionLost int64
 	Delivered     int64
+	FaultDrops    int64
 }
 
 // normalize fills defaults; it returns a copy.
@@ -432,6 +494,42 @@ func (c Config) Validate() error {
 	if len(c.Phases) > 0 || len(c.Workload) > 0 {
 		if c.Load != 0 || c.BurstPackets != 0 {
 			return fmt.Errorf("dragonfly: Load/BurstPackets must be zero when a phased workload is set")
+		}
+	}
+	if !c.Faults.empty() {
+		f := c.Faults
+		// The negated >=-and-< form rejects NaN too, which would otherwise
+		// pass every comparison, defeat empty(), and then break the JSON
+		// cache key while drawing no faults at all.
+		if !(f.GlobalFraction >= 0 && f.GlobalFraction < 1) ||
+			!(f.LocalFraction >= 0 && f.LocalFraction < 1) {
+			return fmt.Errorf("dragonfly: fault fractions %v/%v outside [0, 1)",
+				f.GlobalFraction, f.LocalFraction)
+		}
+		p, err := topology.New(c.H)
+		if err != nil {
+			return err
+		}
+		checkLink := func(l LinkID, where string) error {
+			if l.Router < 0 || l.Router >= p.Routers ||
+				!(p.IsLocalPort(l.Port) || p.IsGlobalPort(l.Port)) {
+				return fmt.Errorf("dragonfly: %s names no link of an h=%d dragonfly (router %d, port %d)",
+					where, c.H, l.Router, l.Port)
+			}
+			return nil
+		}
+		for i, l := range f.Links {
+			if err := checkLink(l, fmt.Sprintf("fault link %d", i)); err != nil {
+				return err
+			}
+		}
+		for i, ev := range f.Events {
+			if ev.At < 0 {
+				return fmt.Errorf("dragonfly: fault event %d at negative cycle %d", i, ev.At)
+			}
+			if err := checkLink(ev.Link, fmt.Sprintf("fault event %d", i)); err != nil {
+				return err
+			}
 		}
 	}
 	nodes := 2 * c.H * (2*c.H*c.H + 1) * c.H // routers × h
@@ -584,8 +682,118 @@ func (c Config) Canonical() Config {
 	if c.BurstPackets > 0 {
 		c.Load = 0
 	}
+	if c.Faults.empty() {
+		c.Faults = nil // a pristine network hashes like no spec at all
+	} else {
+		c.Faults = c.Faults.canonical(c.H)
+	}
 	c.Workers = 0
 	return c
+}
+
+// canonicalLink reduces a link name to the end with the smaller router id.
+// Invalid links are returned unchanged; Validate reports them.
+func canonicalLink(p *topology.P, l LinkID) LinkID {
+	if l.Router < 0 || l.Router >= p.Routers || !(p.IsLocalPort(l.Port) || p.IsGlobalPort(l.Port)) {
+		return l
+	}
+	if rr, rp := p.LinkTarget(l.Router, l.Port); rr < l.Router {
+		return LinkID{Router: rr, Port: rp}
+	}
+	return l
+}
+
+// canonical returns the spec with links named from their lower-id end,
+// duplicates removed, links sorted, and events ordered by (cycle, link,
+// kills first) — the order compile feeds the engine, so two spellings of
+// one scenario hash and simulate identically.
+func (f *FaultSpec) canonical(h int) *FaultSpec {
+	out := &FaultSpec{GlobalFraction: f.GlobalFraction, LocalFraction: f.LocalFraction}
+	p, err := topology.New(h)
+	if err != nil {
+		out.Links = append([]LinkID(nil), f.Links...)
+		out.Events = append([]FaultEvent(nil), f.Events...)
+		return out
+	}
+	seen := make(map[LinkID]bool, len(f.Links))
+	for _, l := range f.Links {
+		cl := canonicalLink(p, l)
+		if !seen[cl] {
+			seen[cl] = true
+			out.Links = append(out.Links, cl)
+		}
+	}
+	sort.Slice(out.Links, func(i, j int) bool {
+		a, b := out.Links[i], out.Links[j]
+		if a.Router != b.Router {
+			return a.Router < b.Router
+		}
+		return a.Port < b.Port
+	})
+	if len(f.Events) > 0 {
+		out.Events = make([]FaultEvent, len(f.Events))
+		for i, ev := range f.Events {
+			ev.Link = canonicalLink(p, ev.Link)
+			out.Events[i] = ev
+		}
+		sort.SliceStable(out.Events, func(i, j int) bool {
+			a, b := out.Events[i], out.Events[j]
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			if a.Link.Router != b.Link.Router {
+				return a.Link.Router < b.Link.Router
+			}
+			if a.Link.Port != b.Link.Port {
+				return a.Link.Port < b.Link.Port
+			}
+			return !a.Repair && b.Repair
+		})
+	}
+	return out
+}
+
+// compile builds the engine's initial fault set and event list: fractions
+// drawn from seed, explicit links applied, and the whole schedule checked
+// for connectivity (a partitioned network cannot be simulated
+// meaningfully, so such configs are rejected here).
+func (f *FaultSpec) compile(p *topology.P, seed uint64) (*topology.FaultSet, []engine.FaultEvent, error) {
+	cf := f.canonical(p.H)
+	set := topology.NewFaultSet(p)
+	if cf.GlobalFraction > 0 || cf.LocalFraction > 0 {
+		if err := topology.RandomFaults(set, cf.GlobalFraction, cf.LocalFraction, seed); err != nil {
+			return nil, nil, fmt.Errorf("dragonfly: %w", err)
+		}
+	}
+	for _, l := range cf.Links {
+		set.SetLink(l.Router, l.Port, true)
+	}
+	if !set.Connected() {
+		return nil, nil, fmt.Errorf("dragonfly: fault set partitions the network (%d global, %d local links down)",
+			set.DownGlobal(), set.DownLocal())
+	}
+	var evs []engine.FaultEvent
+	if len(cf.Events) > 0 {
+		probe := set.Clone()
+		evs = make([]engine.FaultEvent, len(cf.Events))
+		for i, ev := range cf.Events {
+			evs[i] = engine.FaultEvent{
+				At: ev.At, Repair: ev.Repair,
+				Router: ev.Link.Router, Port: ev.Link.Port,
+			}
+			probe.SetLink(ev.Link.Router, ev.Link.Port, !ev.Repair)
+			// The engine applies every event due at one cycle before any
+			// routing runs, so only the state at each cycle boundary must
+			// stay connected — probe it after the last event of each At.
+			if i+1 < len(cf.Events) && cf.Events[i+1].At == ev.At {
+				continue
+			}
+			if !probe.Connected() {
+				return nil, nil, fmt.Errorf("dragonfly: fault events leave the network partitioned from cycle %d", ev.At)
+			}
+		}
+	}
+	return set, evs, nil
 }
 
 // Build validates the configuration and assembles the simulator inputs.
@@ -626,6 +834,14 @@ func (c Config) build() (engine.Config, *topology.P, error) {
 		Measure:         c.Measure,
 		MaxCycles:       c.MaxCycles,
 		Watchdog:        c.Watchdog,
+	}
+	if !c.Faults.empty() {
+		fs, evs, err := c.Faults.compile(p, c.Seed)
+		if err != nil {
+			return engine.Config{}, nil, err
+		}
+		ec.Faults = fs
+		ec.FaultEvents = evs
 	}
 	return ec, p, nil
 }
@@ -791,6 +1007,7 @@ func timelineFromMetrics(t *metrics.Timeline) *Timeline {
 			Delivered:          w.Delivered,
 			Generated:          w.Generated,
 			InjectionLost:      w.InjectionLost,
+			FaultDrops:         w.FaultDrops,
 		}
 	}
 	return out
@@ -818,6 +1035,7 @@ func phasesFromMetrics(ds []metrics.PhaseDigest) []PhaseDigest {
 			Generated:          d.Generated,
 			InjectionLost:      d.InjectionLost,
 			Delivered:          d.Delivered,
+			FaultDrops:         d.FaultDrops,
 		}
 	}
 	return out
@@ -855,6 +1073,7 @@ func fromMetrics(m metrics.Result, c Config) Result {
 		Delivered:          m.Delivered,
 		Generated:          m.Generated,
 		InjectionLost:      m.InjectionLost,
+		FaultDrops:         m.FaultDrops,
 		PhitsMoved:         m.PhitsMoved,
 		Cycles:             m.Cycles,
 		Nodes:              m.Nodes,

@@ -1,0 +1,219 @@
+package dragonfly_test
+
+import (
+	"math"
+	"testing"
+
+	dragonfly "repro"
+	"repro/internal/exp"
+)
+
+// TestFaultSpecValidation covers the new Config.Faults checks.
+func TestFaultSpecValidation(t *testing.T) {
+	base := fast(dragonfly.Minimal)
+	base.Load = 0.2
+
+	cases := []struct {
+		name   string
+		faults *dragonfly.FaultSpec
+	}{
+		{"fraction >= 1", &dragonfly.FaultSpec{GlobalFraction: 1}},
+		{"negative fraction", &dragonfly.FaultSpec{LocalFraction: -0.1}},
+		{"NaN global fraction", &dragonfly.FaultSpec{GlobalFraction: math.NaN()}},
+		{"NaN local fraction", &dragonfly.FaultSpec{LocalFraction: math.NaN()}},
+		{"router out of range", &dragonfly.FaultSpec{Links: []dragonfly.LinkID{{Router: 10_000, Port: 0}}}},
+		{"ejection port", &dragonfly.FaultSpec{Links: []dragonfly.LinkID{{Router: 0, Port: 3*2 - 1}}}},
+		{"negative event cycle", &dragonfly.FaultSpec{Events: []dragonfly.FaultEvent{
+			{At: -5, Link: dragonfly.LinkID{Router: 0, Port: 0}},
+		}}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.Faults = tc.faults
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validation accepted %+v", tc.name, tc.faults)
+		}
+	}
+
+	cfg := base
+	cfg.Faults = &dragonfly.FaultSpec{
+		GlobalFraction: 0.1,
+		Links:          []dragonfly.LinkID{{Router: 0, Port: 0}},
+		Events: []dragonfly.FaultEvent{
+			{At: 100, Link: dragonfly.LinkID{Router: 1, Port: 1}},
+			{At: 200, Repair: true, Link: dragonfly.LinkID{Router: 1, Port: 1}},
+		},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid fault spec rejected: %v", err)
+	}
+}
+
+// TestPartitionedFaultConfigRejected: a fault set that disconnects the
+// network must be refused before any simulation runs — here, every link of
+// router 0 (its 3 local links and 2 global channels at h=2... port list is
+// all link ports).
+func TestPartitionedFaultConfigRejected(t *testing.T) {
+	cfg := fast(dragonfly.Minimal)
+	cfg.Load = 0.2
+	var links []dragonfly.LinkID
+	for port := 0; port < 3*2-1; port++ { // all 5 link ports of router 0
+		links = append(links, dragonfly.LinkID{Router: 0, Port: port})
+	}
+	cfg.Faults = &dragonfly.FaultSpec{Links: links}
+	if _, err := dragonfly.Run(cfg); err == nil {
+		t.Fatal("partitioned fault config accepted")
+	}
+
+	// Dynamic partition is rejected too.
+	cfg.Faults = &dragonfly.FaultSpec{}
+	for port := 0; port < 3*2-1; port++ {
+		cfg.Faults.Events = append(cfg.Faults.Events,
+			dragonfly.FaultEvent{At: 100, Link: dragonfly.LinkID{Router: 0, Port: port}})
+	}
+	if _, err := dragonfly.Run(cfg); err == nil {
+		t.Fatal("dynamically partitioning fault config accepted")
+	}
+
+	// Only the state at each event-cycle boundary matters: isolating
+	// router 0 and reconnecting it in the same cycle is legal (the engine
+	// applies all same-cycle events before any routing runs).
+	cfg.Faults.Events = append(cfg.Faults.Events,
+		dragonfly.FaultEvent{At: 100, Repair: true, Link: dragonfly.LinkID{Router: 0, Port: 0}})
+	res, err := dragonfly.Run(cfg)
+	if err != nil {
+		t.Fatalf("same-cycle kill+repair batch with a connected end state rejected: %v", err)
+	}
+	if res.Deadlock {
+		t.Fatal("same-cycle batch run deadlocked")
+	}
+}
+
+// TestFaultCanonicalization: the two spellings of one link (either end)
+// and shuffled event order must hash to the same cache key, and an empty
+// spec must hash like no spec at all.
+func TestFaultCanonicalization(t *testing.T) {
+	cache := &exp.Cache{}
+	base := fast(dragonfly.OLM)
+	base.Load = 0.3
+
+	plain := base
+	empty := base
+	empty.Faults = &dragonfly.FaultSpec{}
+	if cache.Key(plain) != cache.Key(empty) {
+		t.Error("empty fault spec changed the cache key")
+	}
+
+	// Link 0-(port 0) seen from router 0 and from its remote end.
+	a := base
+	a.Faults = &dragonfly.FaultSpec{Links: []dragonfly.LinkID{{Router: 0, Port: 0}}}
+	canon := a.Canonical()
+	if canon.Faults == nil || len(canon.Faults.Links) != 1 {
+		t.Fatalf("canonical lost the fault link: %+v", canon.Faults)
+	}
+	cl := canon.Faults.Links[0]
+	b := base
+	b.Faults = &dragonfly.FaultSpec{Links: []dragonfly.LinkID{remoteEnd(t, cl)}}
+	if cache.Key(a) != cache.Key(b) {
+		t.Error("the two ends of one link hash differently")
+	}
+	if a.Faults.Links[0] != (dragonfly.LinkID{Router: 0, Port: 0}) {
+		t.Error("Canonical mutated the caller's spec")
+	}
+
+	// Event order: same events, shuffled.
+	e1 := dragonfly.FaultEvent{At: 100, Link: dragonfly.LinkID{Router: 0, Port: 0}}
+	e2 := dragonfly.FaultEvent{At: 100, Link: dragonfly.LinkID{Router: 3, Port: 1}}
+	c1, c2 := base, base
+	c1.Faults = &dragonfly.FaultSpec{Events: []dragonfly.FaultEvent{e1, e2}}
+	c2.Faults = &dragonfly.FaultSpec{Events: []dragonfly.FaultEvent{e2, e1}}
+	if cache.Key(c1) != cache.Key(c2) {
+		t.Error("same-cycle event order changed the cache key")
+	}
+
+	// Different fault specs must not collide.
+	d := base
+	d.Faults = &dragonfly.FaultSpec{GlobalFraction: 0.1}
+	if cache.Key(d) == cache.Key(plain) {
+		t.Error("a fault fraction did not change the cache key")
+	}
+}
+
+// remoteEnd resolves the other end of a canonical link via the public
+// topology accessors (NetworkSize gives no ports, so walk candidates).
+func remoteEnd(t *testing.T, l dragonfly.LinkID) dragonfly.LinkID {
+	t.Helper()
+	// Brute-force: the remote end is the unique other LinkID whose
+	// canonical form equals l's.
+	base := fast(dragonfly.Minimal)
+	base.Load = 0.2
+	routers, _, _, err := dragonfly.NetworkSize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < routers; r++ {
+		for port := 0; port < 3*2-1; port++ {
+			cand := dragonfly.LinkID{Router: r, Port: port}
+			if cand == l {
+				continue
+			}
+			cfg := base
+			cfg.Faults = &dragonfly.FaultSpec{Links: []dragonfly.LinkID{cand}}
+			canon := cfg.Canonical()
+			if len(canon.Faults.Links) == 1 && canon.Faults.Links[0] == l {
+				return cand
+			}
+		}
+	}
+	t.Fatalf("no remote end found for %+v", l)
+	return dragonfly.LinkID{}
+}
+
+// TestFaultRunConservation: at the public API level, a faulted steady run
+// accounts every generated packet as delivered, fault-dropped, lost at
+// injection, or still in flight at quiesce.
+func TestFaultRunConservation(t *testing.T) {
+	cfg := fast(dragonfly.Minimal)
+	cfg.Load = 0.25
+	cfg.Warmup = 0 // count every event from cycle 0
+	cfg.Faults = &dragonfly.FaultSpec{GlobalFraction: 0.2}
+	res, err := dragonfly.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock {
+		t.Fatal("faulted run deadlocked")
+	}
+	if res.FaultDrops == 0 {
+		t.Fatal("Minimal dropped nothing with 20% of global links down")
+	}
+	inFlight := res.Generated - res.InjectionLost - res.Delivered - res.FaultDrops
+	if inFlight < 0 {
+		t.Fatalf("conservation violated: generated %d < lost %d + delivered %d + dropped %d",
+			res.Generated, res.InjectionLost, res.Delivered, res.FaultDrops)
+	}
+	// The in-flight residue is bounded by what the network can hold.
+	if inFlight > int64(res.Nodes)*20 {
+		t.Fatalf("implausible in-flight residue %d", inFlight)
+	}
+}
+
+// TestFaultedRunsDiffer: the same config with and without faults must
+// differ (the faults really bite), and two different fault seeds differ.
+func TestFaultedRunsDiffer(t *testing.T) {
+	cfg := fast(dragonfly.OLM)
+	cfg.Load = 0.3
+	plain, err := dragonfly.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &dragonfly.FaultSpec{GlobalFraction: 0.25}
+	faulted, err := dragonfly.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.GlobalMisrouteRate == faulted.GlobalMisrouteRate &&
+		plain.AvgTotalLatency == faulted.AvgTotalLatency {
+		t.Fatal("25% global faults left OLM's behavior unchanged (suspicious)")
+	}
+}

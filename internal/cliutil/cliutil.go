@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	dragonfly "repro"
+	"repro/internal/topology"
 )
 
 // Traffic builds a pattern from the classic flag trio (-traffic, -offset,
@@ -162,6 +163,142 @@ func Phases(spec string) ([]dragonfly.JobSpec, error) {
 		return nil, fmt.Errorf("empty workload spec %q", spec)
 	}
 	return jobs, nil
+}
+
+// Faults parses the fault-scenario mini-language shared by the CLIs:
+//
+//	spec  := item (";" item)*
+//	item  := "g=" frac                       seeded fraction of global links down
+//	       | "l=" frac                       seeded fraction of local links down
+//	       | link ("," link)*                links down from the start
+//	       | event "@" cycle "=" link ("," link)*
+//	event := "kill" | "repair"
+//	link  := "r" router "p" port             by router id and output port
+//	       | "g" A "-" B                     the global channel between groups A and B
+//	       | "l" G ":" i "-" j               the local link between router indices i and j of group G
+//
+// h sizes the dragonfly the group/local link forms resolve against.
+// Examples:
+//
+//	g=0.1
+//	g0-4;l2:0-3
+//	g=0.05;kill@5000=g0-4;repair@8000=g0-4
+func Faults(spec string, h int) (*dragonfly.FaultSpec, error) {
+	p, err := topology.New(h)
+	if err != nil {
+		return nil, err
+	}
+	out := &dragonfly.FaultSpec{}
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		lower := strings.ToLower(item)
+		switch {
+		case strings.HasPrefix(lower, "g="), strings.HasPrefix(lower, "l="):
+			frac, err := strconv.ParseFloat(strings.TrimSpace(item[2:]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fault fraction in %q: %v", item, err)
+			}
+			if lower[0] == 'g' {
+				out.GlobalFraction = frac
+			} else {
+				out.LocalFraction = frac
+			}
+		case strings.HasPrefix(lower, "kill@"), strings.HasPrefix(lower, "repair@"):
+			repair := lower[0] == 'r'
+			rest := item[strings.Index(item, "@")+1:]
+			cycleStr, linksStr, ok := strings.Cut(rest, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad fault event %q (want kill@cycle=link)", item)
+			}
+			at, err := strconv.ParseInt(strings.TrimSpace(cycleStr), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad cycle in fault event %q: %v", item, err)
+			}
+			links, err := faultLinks(p, linksStr)
+			if err != nil {
+				return nil, err
+			}
+			for _, l := range links {
+				out.Events = append(out.Events, dragonfly.FaultEvent{At: at, Repair: repair, Link: l})
+			}
+		default:
+			links, err := faultLinks(p, item)
+			if err != nil {
+				return nil, err
+			}
+			out.Links = append(out.Links, links...)
+		}
+	}
+	if len(out.Links) == 0 && len(out.Events) == 0 &&
+		out.GlobalFraction == 0 && out.LocalFraction == 0 {
+		return nil, fmt.Errorf("empty fault spec %q", spec)
+	}
+	return out, nil
+}
+
+// faultLinks parses a comma-separated list of link tokens.
+func faultLinks(p *topology.P, csv string) ([]dragonfly.LinkID, error) {
+	var out []dragonfly.LinkID
+	for _, tok := range strings.Split(csv, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		l, err := faultLink(p, tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty link list %q", csv)
+	}
+	return out, nil
+}
+
+// faultLink parses one link token ("rNpM", "gA-B" or "lG:i-j").
+func faultLink(p *topology.P, tok string) (dragonfly.LinkID, error) {
+	t := strings.ToLower(tok)
+	switch {
+	case strings.HasPrefix(t, "r"):
+		rStr, pStr, ok := strings.Cut(t[1:], "p")
+		router, err1 := strconv.Atoi(rStr)
+		port, err2 := strconv.Atoi(pStr)
+		if !ok || err1 != nil || err2 != nil {
+			return dragonfly.LinkID{}, fmt.Errorf("bad link %q (want rROUTERpPORT)", tok)
+		}
+		return dragonfly.LinkID{Router: router, Port: port}, nil
+	case strings.HasPrefix(t, "g"):
+		aStr, bStr, ok := strings.Cut(t[1:], "-")
+		a, err1 := strconv.Atoi(aStr)
+		b, err2 := strconv.Atoi(bStr)
+		if !ok || err1 != nil || err2 != nil {
+			return dragonfly.LinkID{}, fmt.Errorf("bad global link %q (want gA-B)", tok)
+		}
+		if a == b || a < 0 || b < 0 || a >= p.Groups || b >= p.Groups {
+			return dragonfly.LinkID{}, fmt.Errorf("global link %q outside the %d groups of h=%d", tok, p.Groups, p.H)
+		}
+		idx, port := p.GlobalPortOfChannel(p.ChannelToGroup(a, b))
+		return dragonfly.LinkID{Router: p.RouterID(a, idx), Port: port}, nil
+	case strings.HasPrefix(t, "l"):
+		gStr, rest, ok := strings.Cut(t[1:], ":")
+		iStr, jStr, ok2 := strings.Cut(rest, "-")
+		g, err1 := strconv.Atoi(gStr)
+		i, err2 := strconv.Atoi(iStr)
+		j, err3 := strconv.Atoi(jStr)
+		if !ok || !ok2 || err1 != nil || err2 != nil || err3 != nil {
+			return dragonfly.LinkID{}, fmt.Errorf("bad local link %q (want lG:i-j)", tok)
+		}
+		if g < 0 || g >= p.Groups || i < 0 || j < 0 || i == j ||
+			i >= p.RoutersPerGroup || j >= p.RoutersPerGroup {
+			return dragonfly.LinkID{}, fmt.Errorf("local link %q outside group bounds of h=%d", tok, p.H)
+		}
+		return dragonfly.LinkID{Router: p.RouterID(g, i), Port: p.LocalPort(i, j)}, nil
+	}
+	return dragonfly.LinkID{}, fmt.Errorf("unknown link %q (want rNpM, gA-B or lG:i-j)", tok)
 }
 
 // phase parses one "pattern@rate[xduration]" token.

@@ -118,3 +118,47 @@ func TestPhasesSpec(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultsSpec(t *testing.T) {
+	// Fractions, a static group link, and a kill/repair pair.
+	fs, err := Faults("g=0.1;l=0.05;g0-4;kill@5000=l1:0-3,r0p1;repair@8000=g0-4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.GlobalFraction != 0.1 || fs.LocalFraction != 0.05 {
+		t.Fatalf("fractions %v/%v", fs.GlobalFraction, fs.LocalFraction)
+	}
+	if len(fs.Links) != 1 || len(fs.Events) != 3 {
+		t.Fatalf("%d links, %d events", len(fs.Links), len(fs.Events))
+	}
+	if fs.Events[0].At != 5000 || fs.Events[0].Repair || fs.Events[2].At != 8000 || !fs.Events[2].Repair {
+		t.Fatalf("events %+v", fs.Events)
+	}
+	// g0-4 resolves to the same link in the static and repair spellings.
+	cfg := dragonfly.PaperVCT(2)
+	cfg.Load = 0.1
+	cfg.Faults = fs
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("parsed spec fails validation: %v", err)
+	}
+	canon := cfg.Canonical().Faults
+	if canon.Links[0] != canon.Events[2].Link {
+		t.Fatalf("static g0-4 (%+v) and repair g0-4 (%+v) resolved differently",
+			canon.Links[0], canon.Events[2].Link)
+	}
+
+	// The rNpM form round-trips verbatim.
+	fs, err = Faults("r3p2", 2)
+	if err != nil || fs.Links[0] != (dragonfly.LinkID{Router: 3, Port: 2}) {
+		t.Fatalf("r3p2 -> %+v, %v", fs.Links, err)
+	}
+
+	for _, bad := range []string{
+		"", " ; ", "g=x", "q0-1", "g0-0", "g0-99", "l9:0-1", "l0:0-0", "l0:0-9",
+		"r0", "rxp1", "kill@=g0-1", "kill@abc=g0-1", "kill@100=", "g0-1x",
+	} {
+		if _, err := Faults(bad, 2); err == nil {
+			t.Errorf("bad fault spec %q accepted", bad)
+		}
+	}
+}

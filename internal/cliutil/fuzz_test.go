@@ -1,0 +1,91 @@
+package cliutil
+
+import (
+	"testing"
+
+	dragonfly "repro"
+)
+
+// FuzzPhases drives the workload-spec parser with arbitrary input: it must
+// never panic, and anything it accepts must either validate as a config or
+// be rejected by Config.Validate with a proper error — never a crash
+// further down the stack.
+func FuzzPhases(f *testing.F) {
+	for _, seed := range []string{
+		"UN@0.3",
+		"UN@0.3x4000,ADVG+4@0.3",
+		"0-527=UN@0.25;528-1055=ADVG+4@0.5x3000,UN@0.1",
+		"MIX:60@0.5x100,ADVL+1@200b",
+		"ADVG@1.0;UN@0b",
+		"UN@0.0x0",
+		"=@x", ";;;", "0-0=UN@0.1", "UN@0.3x-5",
+		"ADVG+999@0.5", "MIX:@1", "UN@1e300", "5-2=UN@0.1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		jobs, err := Phases(spec)
+		if err != nil {
+			return
+		}
+		if len(jobs) == 0 {
+			t.Fatalf("Phases(%q) returned no jobs and no error", spec)
+		}
+		cfg := dragonfly.Config{H: 2, Workload: jobs}
+		_ = cfg.Validate() // must not panic; errors are fine
+	})
+}
+
+// FuzzFaults drives the fault-spec parser the same way: no input may panic
+// it, and accepted specs must survive Validate and Canonical.
+func FuzzFaults(f *testing.F) {
+	for _, seed := range []string{
+		"g=0.1",
+		"l=0.05",
+		"g0-4",
+		"l2:0-3",
+		"r12p3",
+		"g=0.05;kill@5000=g0-4;repair@8000=g0-4",
+		"kill@0=r0p0,r1p1;g=0.9",
+		"g=-1", "g=2", "r-1p0", "g0-0", "l0:1-1", "kill@=g0-1",
+		"repair@99999999999999999999=g0-1", "@", "=;=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		fs, err := Faults(spec, 2)
+		if err != nil {
+			return
+		}
+		if fs == nil {
+			t.Fatalf("Faults(%q) returned nil and no error", spec)
+		}
+		cfg := dragonfly.PaperVCT(2)
+		cfg.Load = 0.1
+		cfg.Faults = fs
+		if err := cfg.Validate(); err != nil {
+			return // out-of-range links etc. are Validate's job
+		}
+		_ = cfg.Canonical() // must not panic on validated specs
+	})
+}
+
+// FuzzTrafficToken covers the compact pattern syntax shared by both spec
+// languages.
+func FuzzTrafficToken(f *testing.F) {
+	for _, seed := range []string{
+		"UN", "ADVG", "ADVG+4", "ADVL+1", "MIX", "MIX:60",
+		"advg+", "MIX:", "ADVL-1", "A", "", "ADVG+99999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, tok string) {
+		tr, err := TrafficToken(tok)
+		if err != nil {
+			return
+		}
+		if _, err := tr.Name(4); err != nil {
+			t.Fatalf("TrafficToken(%q) accepted a pattern Name rejects: %v", tok, err)
+		}
+	})
+}

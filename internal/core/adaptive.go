@@ -29,7 +29,11 @@
 //	         escape path always remains: 3/2 VCs, VCT only.
 package core
 
-import "repro/internal/rng"
+import (
+	"math"
+
+	"repro/internal/rng"
+)
 
 // maxLocalHopsPerGroup is the per-supernode local hop budget (the longest
 // route is l-l-g-l-l-g-l-l).
@@ -157,10 +161,14 @@ func (a *adaptive) globalMisrouteAllowed(st *PacketState) bool {
 func (a *adaptive) Route(v View, st *PacketState, router, size int, r *rng.PCG) Decision {
 	p := a.cfg.Topo
 	idx := p.IndexInGroup(router)
+	faulty := v.Faulty()
 
 	// A forced hop after a local misroute: no adaptivity.
 	if st.PendingLocal >= 0 {
 		port := p.LocalPort(idx, int(st.PendingLocal))
+		if faulty && v.LinkDown(port) {
+			return dropDecision // a forced hop cannot re-route
+		}
 		vc := a.localVC(st)
 		if v.CanClaim(port, vc, size) {
 			return Decision{Port: port, VC: vc, Kind: KindMin, NewValiant: -1, LocalFinal: -1}
@@ -173,7 +181,27 @@ func (a *adaptive) Route(v View, st *PacketState, router, size int, r *rng.PCG) 
 	if minGlobal {
 		minVC = a.globalVC(st)
 	}
-	if v.CanClaim(minPort, minVC, size) {
+
+	// Fault state of the minimal route. deadRoute means the group's only
+	// channel toward the target group is gone — no local detour can bring
+	// it back; deadLocal means just the next local leg is gone, which a
+	// local misroute can bypass.
+	deadRoute, deadLocal := false, false
+	if faulty {
+		g := p.GroupOf(router)
+		if tg := st.targetGroup(); g != tg && v.RouteDown(g, tg) {
+			deadRoute = true
+		} else if v.LinkDown(minPort) {
+			if minGlobal {
+				deadRoute = true // a dead global minPort is the channel itself
+			} else {
+				deadLocal = true
+			}
+		}
+	}
+	deadMin := deadRoute || deadLocal
+
+	if !deadMin && v.CanClaim(minPort, minVC, size) {
 		return Decision{Port: minPort, VC: minVC, Kind: KindMin, NewValiant: -1, LocalFinal: -1}
 	}
 
@@ -202,17 +230,70 @@ func (a *adaptive) Route(v View, st *PacketState, router, size int, r *rng.PCG) 
 		}
 	}
 	limit := a.cfg.Threshold * minFrac
+	if deadMin {
+		// The minimal route is not congested, it is gone: any surviving
+		// claimable candidate beats it (recomputed routing tables would
+		// not offer the dead route at all).
+		limit = math.Inf(1)
+	}
 	a.cands = a.cands[:0]
-	if !v.CanStart(minPort, minVC, size) && a.globalMisrouteAllowed(st) {
+	canGlobal := a.globalMisrouteAllowed(st)
+	if canGlobal && (deadMin || !v.CanStart(minPort, minVC, size)) {
 		a.globalCandidates(v, st, router, size, limit, r)
 	}
-	if !minGlobal && a.localMisrouteAllowed(st) {
-		a.localCandidates(v, st, idx, exitIdx, size, limit)
+	// Local misrouting cannot restore a dead group channel (each group
+	// pair has exactly one), so it stays unarmed for deadRoute.
+	canLocal := !minGlobal && !deadRoute && a.localMisrouteAllowed(st)
+	localStructural := 0
+	if canLocal {
+		localStructural = a.localCandidates(v, st, idx, exitIdx, size, limit)
 	}
 	if len(a.cands) == 0 {
+		if deadMin && !(canLocal && localStructural > 0) &&
+			!(canGlobal && a.liveGlobalDetour(v, st, router)) {
+			return dropDecision
+		}
 		return waitDecision
 	}
 	return a.cands[r.Intn(len(a.cands))].dec
+}
+
+// liveGlobalDetour reports whether some intermediate group the mechanism
+// could still commit to has both detour legs alive — mirroring the static
+// filters of globalCandidates, so a packet only drops when no candidate
+// can ever materialize.
+func (a *adaptive) liveGlobalDetour(v View, st *PacketState, router int) bool {
+	p := a.cfg.Topo
+	g := p.GroupOf(router)
+	idx := p.IndexInGroup(router)
+	for tg := 0; tg < p.Groups; tg++ {
+		if tg == g || tg == int(st.DstGroup) {
+			continue
+		}
+		if v.RouteDown(g, tg) || v.RouteDown(tg, int(st.DstGroup)) {
+			continue
+		}
+		owner := p.MinimalLocalTarget(router, tg)
+		if owner == idx {
+			return true // this router's own live channel
+		}
+		// Remote channels are only reachable through a redirect hop, and
+		// only ever sampled when remote candidates are enabled.
+		if a.cfg.RemoteCandidates <= 0 || st.LocalHopsInGroup >= maxLocalHopsPerGroup {
+			continue
+		}
+		if v.LocalDown(idx, owner) {
+			continue
+		}
+		if a.pair != nil && st.PrevRouter >= 0 {
+			prev := p.IndexInGroup(int(st.PrevRouter))
+			if !a.pair.AllowedHops(prev, idx, owner) {
+				continue
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // occupancyFrac returns downstream occupancy normalized to capacity.
@@ -236,11 +317,15 @@ func (a *adaptive) globalCandidates(v View, st *PacketState, router, size int, l
 	p := a.cfg.Topo
 	g := p.GroupOf(router)
 	idx := p.IndexInGroup(router)
+	faulty := v.Faulty()
 	gvc := a.globalVC(st)
 	for port := p.GlobalPortBase(); port < p.EjectPortBase(); port++ {
 		tg := p.TargetGroup(g, p.GlobalChannelOfPort(idx, port))
 		if tg == int(st.DstGroup) {
 			continue // that would be the minimal channel
+		}
+		if faulty && v.RouteDown(tg, int(st.DstGroup)) {
+			continue // the detour's second leg is gone
 		}
 		if a.eligible(v, port, gvc, size, limit) {
 			a.cands = append(a.cands, candidate{Decision{
@@ -257,6 +342,9 @@ func (a *adaptive) globalCandidates(v View, st *PacketState, router, size int, l
 		tg := r.Intn(p.Groups)
 		if tg == g || tg == int(st.DstGroup) {
 			continue
+		}
+		if faulty && (v.RouteDown(g, tg) || v.RouteDown(tg, int(st.DstGroup))) {
+			continue // a detour leg is gone
 		}
 		owner := p.MinimalLocalTarget(router, tg)
 		if owner == idx {
@@ -278,9 +366,15 @@ func (a *adaptive) globalCandidates(v View, st *PacketState, router, size int, l
 	}
 }
 
-// localCandidates collects local misroutes i -> k -> exitIdx.
-func (a *adaptive) localCandidates(v View, st *PacketState, idx, exitIdx, size int, limit float64) {
+// localCandidates collects local misroutes i -> k -> exitIdx. It returns
+// the number of detours passing every static filter (pair restriction and
+// link liveness), whether or not they were claimable this cycle: a positive
+// count means a candidate can still materialize, so the caller must wait
+// rather than drop.
+func (a *adaptive) localCandidates(v View, st *PacketState, idx, exitIdx, size int, limit float64) int {
 	p := a.cfg.Topo
+	faulty := v.Faulty()
+	structural := 0
 	var vcBuf [2]int
 	vcs := a.misrouteVCs(st, vcBuf[:0])
 	for k := 0; k < p.RoutersPerGroup; k++ {
@@ -290,6 +384,10 @@ func (a *adaptive) localCandidates(v View, st *PacketState, idx, exitIdx, size i
 		if a.pair != nil && !a.pair.AllowedHops(idx, k, exitIdx) {
 			continue
 		}
+		if faulty && (v.LocalDown(idx, k) || v.LocalDown(k, exitIdx)) {
+			continue // the detour hop or its forced exit is gone
+		}
+		structural++
 		port := p.LocalPort(idx, k)
 		for _, vc := range vcs {
 			if a.eligible(v, port, vc, size, limit) {
@@ -301,4 +399,5 @@ func (a *adaptive) localCandidates(v View, st *PacketState, idx, exitIdx, size i
 			}
 		}
 	}
+	return structural
 }

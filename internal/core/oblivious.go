@@ -37,6 +37,19 @@ func (o *oblivious) Route(v View, st *PacketState, router, size int, r *rng.PCG)
 	port, global, _ := minimalNext(o.cfg.Topo, st, router)
 	vc := int(st.GlobalHops) // local hop after g globals uses lVC_{g+1}
 	_ = global
+	if v.Faulty() {
+		// None of the three adapts in transit: a failed link on the
+		// (already fixed) route leaves the packet unroutable. Dead group
+		// channels are detected anywhere in the group, so doomed packets
+		// drop before clogging the path to the channel owner.
+		g := o.cfg.Topo.GroupOf(router)
+		if tg := st.targetGroup(); g != tg && v.RouteDown(g, tg) {
+			return dropDecision
+		}
+		if v.LinkDown(port) {
+			return dropDecision
+		}
+	}
 	if !v.CanClaim(port, vc, size) {
 		return waitDecision
 	}
@@ -50,7 +63,7 @@ func (o *oblivious) decideInjection(v View, st *PacketState, router int, r *rng.
 	case Minimal:
 		return
 	case Valiant:
-		st.ValiantGroup = int32(o.pickValiantGroup(st, r))
+		st.ValiantGroup = int32(o.pickValiantGroup(v, st, r))
 		st.GlobalMisCount++
 	case PB:
 		if o.pbWantsValiant(v, st, router, r) {
@@ -60,17 +73,32 @@ func (o *oblivious) decideInjection(v View, st *PacketState, router int, r *rng.
 }
 
 // pickValiantGroup draws an intermediate group different from the source
-// and destination groups.
-func (o *oblivious) pickValiantGroup(st *PacketState, r *rng.PCG) int {
+// and destination groups. With link-state knowledge of failures it skips
+// groups whose detour legs are dead; if no live detour turns up within the
+// attempt budget it returns a dead draw, and the packet drops at the dead
+// leg like any other unroutable packet.
+func (o *oblivious) pickValiantGroup(v View, st *PacketState, r *rng.PCG) int {
 	p := o.cfg.Topo
 	sg := int(st.CurGroup)
 	dg := int(st.DstGroup)
-	for {
+	faulty := v.Faulty()
+	fallback := -1
+	for i := 0; i < 4*p.Groups || fallback < 0; i++ {
 		g := r.Intn(p.Groups)
-		if g != sg && g != dg {
+		if g == sg || g == dg {
+			continue
+		}
+		if !faulty {
+			return g
+		}
+		if fallback < 0 {
+			fallback = g
+		}
+		if !v.RouteDown(sg, g) && !v.RouteDown(g, dg) {
 			return g
 		}
 	}
+	return fallback
 }
 
 // pbWantsValiant evaluates the Piggybacking criterion and, when Valiant is
@@ -81,12 +109,15 @@ func (o *oblivious) pbWantsValiant(v View, st *PacketState, router int, r *rng.P
 	g := p.GroupOf(router)
 	if int(st.DstGroup) != g {
 		// Remote destination: divert when the minimal global channel
-		// is congested and the sampled Valiant channel is not.
+		// is congested (a failed channel counts as congested — the
+		// recomputed tables know it is gone) and the sampled Valiant
+		// channel is not.
 		kMin := p.ChannelToGroup(g, int(st.DstGroup))
-		if !v.GlobalCongested(kMin) {
+		minDead := v.Faulty() && v.RouteDown(g, int(st.DstGroup))
+		if !v.GlobalCongested(kMin) && !minDead {
 			return false
 		}
-		vg := o.pickValiantGroup(st, r)
+		vg := o.pickValiantGroup(v, st, r)
 		if v.GlobalCongested(p.ChannelToGroup(g, vg)) {
 			return false
 		}
@@ -105,10 +136,11 @@ func (o *oblivious) pbWantsValiant(v View, st *PacketState, router int, r *rng.P
 		qOcc, qCap := v.CurrentQueue()
 		backlog := qCap > 0 && float64(qOcc) >= o.cfg.PBThreshold*float64(qCap)
 		occ, cap := v.Occupancy(port, 0), v.Capacity(port, 0)
-		if !backlog && float64(occ) < o.cfg.PBThreshold*float64(cap) {
+		linkDead := v.Faulty() && v.LocalDown(idx, dIdx)
+		if !backlog && !linkDead && float64(occ) < o.cfg.PBThreshold*float64(cap) {
 			return false
 		}
-		vg := o.pickValiantGroup(st, r)
+		vg := o.pickValiantGroup(v, st, r)
 		if v.GlobalCongested(p.ChannelToGroup(g, vg)) {
 			return false
 		}

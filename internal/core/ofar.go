@@ -54,19 +54,30 @@ func (o *ofar) RequiresVCT() bool { return true }
 // trigger) and falls back to the escape ring under bubble flow control.
 func (o *ofar) Route(v View, st *PacketState, router, size int, r *rng.PCG) Decision {
 	dec := o.adaptive.Route(v, st, router, size, r)
-	if !dec.Wait {
+	if !dec.Wait && !dec.Drop {
 		return dec
 	}
-	// Adaptive network blocked: try the ring edge. Ring hops are
-	// store-and-forward: the whole packet must be buffered here first,
-	// both for the bubble argument and so a packet circling the ring
-	// can never catch its own tail.
+	// Adaptive network blocked (or, under faults, out of surviving
+	// adaptive routes): try the ring edge — the ring visits every router,
+	// so a live ring can still deliver a packet whose adaptive paths are
+	// all dead. Ring hops are store-and-forward: the whole packet must be
+	// buffered here first, both for the bubble argument and so a packet
+	// circling the ring can never catch its own tail.
+	adaptiveDead := dec.Drop
 	if !v.HeadFullyArrived() {
 		return waitDecision
 	}
 	p := o.cfg.Topo
 	next, port := RingNext(p, router)
 	_ = next
+	if v.Faulty() && v.LinkDown(port) {
+		// The ring is severed here; with the adaptive routes dead too,
+		// the packet has no surviving way out.
+		if adaptiveDead {
+			return dropDecision
+		}
+		return waitDecision
+	}
 	vc := ofarEscapeLocalVC
 	if p.IsGlobalPort(port) {
 		vc = ofarEscapeGlobalVC

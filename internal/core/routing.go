@@ -123,6 +123,23 @@ type View interface {
 	// about whole packets in buffers, and a strung-out packet on a ring
 	// could catch its own tail.
 	HeadFullyArrived() bool
+
+	// Faulty reports whether the network has (or may develop) failed
+	// links. When false the remaining fault queries always answer false
+	// and algorithms skip all fault logic, keeping the fault-free hot
+	// path — and its RNG draw sequence — untouched.
+	Faulty() bool
+	// LinkDown reports whether this router's output port drives a failed
+	// link.
+	LinkDown(port int) bool
+	// RouteDown reports whether the single global channel from group g
+	// to group tg has failed. This is link-state knowledge: real
+	// deployments broadcast failed links and recompute routing tables,
+	// so mechanisms may steer around failures anywhere in the machine.
+	RouteDown(g, tg int) bool
+	// LocalDown reports whether the local link between router indices i
+	// and j of this router's group has failed.
+	LocalDown(i, j int) bool
 }
 
 // Kind labels how a hop was chosen; the engine uses it for statistics and
@@ -140,8 +157,12 @@ const (
 // Decision is the outcome of one routing evaluation.
 type Decision struct {
 	Wait bool // nothing claimable this cycle; retry next cycle
-	Port int  // output port
-	VC   int  // output virtual channel
+	// Drop reports that link failures left the packet without any
+	// surviving route from this router: the engine discards it and
+	// accounts a fault drop instead of letting it wedge the network.
+	Drop bool
+	Port int // output port
+	VC   int // output virtual channel
 	Kind Kind
 
 	// LocalFinal is, for KindLocalMis, the in-group router index the
@@ -152,7 +173,10 @@ type Decision struct {
 	NewValiant int
 }
 
-var waitDecision = Decision{Wait: true, NewValiant: -1, LocalFinal: -1}
+var (
+	waitDecision = Decision{Wait: true, NewValiant: -1, LocalFinal: -1}
+	dropDecision = Decision{Drop: true, NewValiant: -1, LocalFinal: -1}
+)
 
 // PacketState is the per-packet routing state threaded through the network.
 type PacketState struct {

@@ -17,6 +17,12 @@ type fakeView struct {
 	queueOcc    int          // current input queue backlog
 	queueCap    int
 	headPartial bool // head packet not fully buffered yet
+
+	// faults, when non-nil, makes the view faulty; router anchors the
+	// router-relative queries (LinkDown, LocalDown) and must track the
+	// router the algorithm is evaluated at.
+	faults *topology.FaultSet
+	router int
 }
 
 func newFakeView(p *topology.P) *fakeView {
@@ -29,7 +35,12 @@ func newFakeView(p *topology.P) *fakeView {
 	}
 }
 
-func (f *fakeView) CanClaim(port, vc, size int) bool { return !f.blocked[[2]int{port, vc}] }
+func (f *fakeView) CanClaim(port, vc, size int) bool {
+	if f.faults != nil && f.faults.Down(f.router, port) {
+		return false
+	}
+	return !f.blocked[[2]int{port, vc}]
+}
 func (f *fakeView) CanStart(port, vc, size int) bool {
 	return f.capacity-f.occupancy[[2]int{port, vc}] >= size
 }
@@ -38,6 +49,16 @@ func (f *fakeView) CurrentQueue() (int, int)   { return f.queueOcc, f.queueCap }
 func (f *fakeView) HeadFullyArrived() bool     { return !f.headPartial }
 func (f *fakeView) Capacity(port, vc int) int  { return f.capacity }
 func (f *fakeView) GlobalCongested(k int) bool { return f.congested[k] }
+func (f *fakeView) Faulty() bool               { return f.faults != nil }
+func (f *fakeView) LinkDown(port int) bool {
+	return f.faults != nil && f.faults.Down(f.router, port)
+}
+func (f *fakeView) RouteDown(g, tg int) bool {
+	return f.faults != nil && f.faults.RouteDown(g, tg)
+}
+func (f *fakeView) LocalDown(i, j int) bool {
+	return f.faults != nil && f.faults.LocalRouteDown(f.p.GroupOf(f.router), i, j)
+}
 
 func mustAlg(t *testing.T, spec Spec, p *topology.P) Algorithm {
 	t.Helper()

@@ -1,11 +1,33 @@
 package engine
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
+
+// faultedDeterminismConfig arms a config with a degraded topology plus
+// mid-run kill and repair events, so the fault paths (drop sink, dead-port
+// masks, cycle-boundary event application) face the worker-count check.
+func faultedDeterminismConfig(t *testing.T, cfg Config) Config {
+	t.Helper()
+	f := topology.NewFaultSet(cfg.Topo)
+	if err := topology.RandomFaults(f, 0.2, 0.05, 11); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = f
+	gp := cfg.Topo.GlobalPortBase()
+	cfg.FaultEvents = []FaultEvent{
+		{At: 1800, Router: 5, Port: gp},
+		{At: 2600, Router: 1, Port: 0},
+		{At: 3400, Repair: true, Router: 5, Port: gp},
+	}
+	cfg.WindowCycles = 300 // exercise window merging (incl. FaultDrops)
+	return cfg
+}
 
 // TestDeterminismAcrossWorkerCounts is the guardrail for the package's
 // central promise ("results identical to serial execution") and for the
@@ -13,8 +35,10 @@ import (
 // latency average and percentile — must be bit-identical between serial
 // and 4-worker execution. Configurations cover both flow controls, a
 // low-load point (where most routers idle and the skip path dominates), a
-// saturation point, and Piggybacking (whose double-buffered congestion
-// tables have their own refresh-skipping logic).
+// saturation point, Piggybacking (whose double-buffered congestion tables
+// have their own refresh-skipping logic), OFAR (escape-ring bubble flow
+// control), and degraded topologies with mid-run link kills/repairs
+// (drop-sink accounting and cycle-boundary fault application).
 func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	cases := []struct {
 		name string
@@ -46,6 +70,29 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 			cfg.Process = proc
 			return cfg
 		}},
+		{"VCT/OFAR", func(t *testing.T) Config {
+			return testConfig(t, 2, core.OFAR, 0.35)
+		}},
+		{"VCT/Minimal/faulted", func(t *testing.T) Config {
+			return faultedDeterminismConfig(t, testConfig(t, 2, core.Minimal, 0.25))
+		}},
+		{"VCT/OLM/faulted", func(t *testing.T) Config {
+			return faultedDeterminismConfig(t, testConfig(t, 2, core.OLM, 0.3))
+		}},
+		{"VCT/OFAR/faulted", func(t *testing.T) Config {
+			return faultedDeterminismConfig(t, testConfig(t, 2, core.OFAR, 0.3))
+		}},
+		{"WH/RLM/faulted", func(t *testing.T) Config {
+			cfg := testConfig(t, 2, core.RLM, 0.3)
+			cfg.Flow = WH
+			cfg.PacketPhits = 40
+			proc, err := traffic.NewBernoulli(0.3, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Process = proc
+			return faultedDeterminismConfig(t, cfg)
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -53,12 +100,34 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 			serial.Workers = 1
 			parallel := tc.cfg(t)
 			parallel.Workers = 4
-			a, b := run(t, serial), run(t, parallel)
-			if a != b {
+			simA, err := New(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := simA.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			simB, err := New(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := simB.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
 				t.Fatalf("worker count changed the result:\n  1 worker : %+v\n  4 workers: %+v", a, b)
+			}
+			if !reflect.DeepEqual(simA.Timeline(), simB.Timeline()) {
+				t.Fatalf("worker count changed the timeline:\n  1 worker : %+v\n  4 workers: %+v",
+					simA.Timeline(), simB.Timeline())
 			}
 			if a.Delivered == 0 {
 				t.Fatal("nothing delivered; the comparison proved nothing")
+			}
+			if serial.Faults != nil && a.FaultDrops == 0 {
+				t.Fatal("no fault drops; the faulted comparison proved nothing")
 			}
 		})
 	}

@@ -72,6 +72,16 @@ type Config struct {
 	// fixed-width windows over the whole run (see Sim.Timeline).
 	WindowCycles int64
 
+	// Faults, when non-nil, is the initial set of failed links (the engine
+	// works on a private clone). FaultEvents lists mid-run link kills and
+	// repairs, sorted by cycle; they are applied in the serial section
+	// between cycles, so routing only ever observes fault state that is
+	// constant within a cycle — which keeps worker-count determinism.
+	// Configurations with neither are completely unaffected: the fault
+	// queries short-circuit and results stay bit-identical.
+	Faults      *topology.FaultSet
+	FaultEvents []FaultEvent
+
 	Warmup  int64 // steady-state: cycles before measurement starts
 	Measure int64 // steady-state: measured cycles
 
@@ -124,11 +134,29 @@ func (c *Config) validate() error {
 	if c.PacketPhits < 1 {
 		return fmt.Errorf("engine: packet size %d phits", c.PacketPhits)
 	}
-	if c.Topo.Ports > 64 {
+	if c.Topo.Ports > 63 {
 		// The activity bitmasks (router.claimPorts, router.xferPorts)
-		// hold one bit per port; 64 ports covers every dragonfly up to
-		// h=16 (131,585 routers), far beyond simulatable sizes.
-		return fmt.Errorf("engine: %d ports per router exceeds the 64-port activity-mask limit", c.Topo.Ports)
+		// hold one bit per port, and the fault-drop sink claims bit
+		// Topo.Ports; 63 ports covers every dragonfly up to h=16
+		// (131,585 routers), far beyond simulatable sizes.
+		return fmt.Errorf("engine: %d ports per router exceeds the 63-port activity-mask limit", c.Topo.Ports)
+	}
+	if c.Faults != nil && c.Faults.Topology().Routers != c.Topo.Routers {
+		return fmt.Errorf("engine: fault set describes a %d-router topology, network has %d",
+			c.Faults.Topology().Routers, c.Topo.Routers)
+	}
+	prevAt := int64(0)
+	for i, ev := range c.FaultEvents {
+		if ev.At < prevAt {
+			return fmt.Errorf("engine: fault events out of order (event %d at cycle %d after %d)",
+				i, ev.At, prevAt)
+		}
+		prevAt = ev.At
+		if ev.Router < 0 || ev.Router >= c.Topo.Routers ||
+			!(c.Topo.IsLocalPort(ev.Port) || c.Topo.IsGlobalPort(ev.Port)) {
+			return fmt.Errorf("engine: fault event %d names no link (router %d port %d)",
+				i, ev.Router, ev.Port)
+		}
 	}
 	if c.Flow == VCT {
 		if c.BufLocal < c.PacketPhits || c.BufGlobal < c.PacketPhits {
@@ -137,6 +165,16 @@ func (c *Config) validate() error {
 		}
 	}
 	return nil
+}
+
+// FaultEvent is one scheduled link state change: the full-duplex link on
+// (Router, Port) fails (or, with Repair, comes back) at the start of cycle
+// At. Events at or before cycle 0 are folded into the initial fault set.
+type FaultEvent struct {
+	At     int64
+	Repair bool
+	Router int
+	Port   int
 }
 
 // progress holds one worker's incrementally-maintained progress counters.
@@ -163,6 +201,14 @@ type Sim struct {
 
 	sheets   []metrics.Sheet // one per worker
 	progress []progress      // one per worker
+
+	// faults is the live link-failure state (a private clone of
+	// Config.Faults), mutated only between cycles; faulted is true as soon
+	// as a run has or can develop failed links, and gates every fault
+	// query so fault-free runs keep their exact pre-fault behavior.
+	faults    *topology.FaultSet
+	faulted   bool
+	nextFault int // index of the first unapplied Config.FaultEvents entry
 
 	cycle int64
 	ran   bool
@@ -222,6 +268,14 @@ func New(cfg Config) (*Sim, error) {
 		sheets:    make([]metrics.Sheet, cfg.Workers),
 		progress:  make([]progress, cfg.Workers),
 	}
+	if cfg.Faults != nil || len(cfg.FaultEvents) > 0 {
+		s.faulted = true
+		if cfg.Faults != nil {
+			s.faults = cfg.Faults.Clone()
+		} else {
+			s.faults = topology.NewFaultSet(p)
+		}
+	}
 	// Per-phase digests only earn their keep on multi-phase workloads; a
 	// one-phase digest would duplicate the main Result.
 	trackedPhases := 0
@@ -256,10 +310,16 @@ func New(cfg Config) (*Sim, error) {
 		for k := range r.nodeRand {
 			r.nodeRand[k] = rng.New(cfg.Seed, uint64(p.NodeID(id, k))*2+2_000_000)
 		}
+		// One extra output port (index p.Ports) is the fault-drop sink: a
+		// linkless pseudo-output that drains unroutable packets through
+		// the ordinary transfer machinery — one phit per cycle, credits
+		// returned upstream as usual — so conservation and determinism
+		// hold for faulted runs. Fault-free runs never claim it.
 		r.in = make([]inPort, p.Ports)
-		r.out = make([]outPort, p.Ports)
-		r.portSent = make([]bool, p.Ports)
+		r.out = make([]outPort, p.Ports+1)
+		r.portSent = make([]bool, p.Ports+1)
 		r.inputUsed = make([]bool, p.Ports)
+		r.out[p.Ports].transfers = make([]transfer, 1)
 		r.claimVCs = make([]uint16, p.Ports)
 		r.phaseCur = make([]int32, len(w.Jobs))
 		r.nodePhase = make([]nodePhase, p.H)
@@ -309,7 +369,36 @@ func New(cfg Config) (*Sim, error) {
 			l.creditSched = r.arrivals
 		}
 	}
+	if s.faulted {
+		// Fold events already due at cycle 0 into the initial state, then
+		// mirror the masks into the routers.
+		for s.nextFault < len(cfg.FaultEvents) && cfg.FaultEvents[s.nextFault].At <= 0 {
+			ev := cfg.FaultEvents[s.nextFault]
+			s.faults.SetLink(ev.Router, ev.Port, !ev.Repair)
+			s.nextFault++
+		}
+		for id := range s.routers {
+			s.routers[id].deadPorts = s.faults.PortMask(id)
+		}
+	}
 	return s, nil
+}
+
+// applyFaultEvents applies every fault event due at the current cycle and
+// refreshes the endpoint routers' dead-port masks. Only called from the
+// serial section between cycles.
+func (s *Sim) applyFaultEvents() {
+	for s.nextFault < len(s.cfg.FaultEvents) {
+		ev := s.cfg.FaultEvents[s.nextFault]
+		if ev.At > s.cycle {
+			return
+		}
+		s.faults.SetLink(ev.Router, ev.Port, !ev.Repair)
+		s.routers[ev.Router].deadPorts = s.faults.PortMask(ev.Router)
+		rr, _ := s.topo.LinkTarget(ev.Router, ev.Port)
+		s.routers[rr].deadPorts = s.faults.PortMask(rr)
+		s.nextFault++
+	}
 }
 
 func makeOutPort(vcs, capacity int) outPort {
@@ -339,6 +428,9 @@ func (s *Sim) finishCycle() {
 		s.pbPublished, s.pbNext = s.pbNext, s.pbPublished
 	}
 	s.cycle++
+	if s.nextFault < len(s.cfg.FaultEvents) {
+		s.applyFaultEvents()
+	}
 }
 
 // totals sums the per-worker progress counters (O(workers), not

@@ -89,6 +89,12 @@ type router struct {
 	claimPorts uint64
 	// xferPorts has one bit per output port with an active transfer.
 	xferPorts uint64
+	// deadPorts has one bit per output port whose link has failed; kept in
+	// sync with the engine's FaultSet at cycle boundaries. Dead ports
+	// refuse new claims, but transfers already streaming across them
+	// finish (and their credits keep flowing): a kill takes effect for
+	// routing immediately and the committed traffic drains.
+	deadPorts uint64
 	// pbCooldown is the number of upcoming cycles that must still refresh
 	// this router's Piggybacking bits: credit state changes are published
 	// into a double-buffered table, so after the last change both buffers
@@ -124,18 +130,24 @@ type router struct {
 
 // view adapts the router to core.View during routing evaluation.
 func (r *router) CanClaim(port, vc, size int) bool {
+	if r.deadPorts&(1<<uint(port)) != 0 {
+		return false
+	}
 	op := &r.out[port]
 	if op.transfers[vc].active {
 		return false
 	}
 	if op.link == nil {
-		return true // ejection: infinite credits
+		return true // ejection and the drop sink: infinite credits
 	}
 	return op.credits[vc] >= r.flow.claimNeed(int32(size))
 }
 
 // CanStart implements core.View: the credit-only claim condition.
 func (r *router) CanStart(port, vc, size int) bool {
+	if r.deadPorts&(1<<uint(port)) != 0 {
+		return false
+	}
 	op := &r.out[port]
 	if op.link == nil {
 		return true
@@ -168,6 +180,33 @@ func (r *router) CurrentQueue() (occupancy, capacity int) {
 
 // HeadFullyArrived implements core.View.
 func (r *router) HeadFullyArrived() bool { return r.curHeadFull }
+
+// Faulty implements core.View: true once a run has, or can develop, failed
+// links. When false the other fault queries are never consulted, so the
+// fault-free hot path stays exactly the pre-fault one.
+func (r *router) Faulty() bool { return r.eng.faulted }
+
+// LinkDown implements core.View.
+func (r *router) LinkDown(port int) bool { return r.deadPorts&(1<<uint(port)) != 0 }
+
+// RouteDown implements core.View: the link-state view of the single global
+// channel from group g to group tg.
+func (r *router) RouteDown(g, tg int) bool {
+	if r.eng.faults == nil {
+		return false
+	}
+	return r.eng.faults.RouteDown(g, tg)
+}
+
+// LocalDown implements core.View: the link-state view of the local link
+// between router indices i and j of this router's group.
+func (r *router) LocalDown(i, j int) bool {
+	e := r.eng
+	if e.faults == nil {
+		return false
+	}
+	return e.faults.LocalRouteDown(e.topo.GroupOf(r.id), i, j)
+}
 
 // markClaimable records that input (port, vc) now has an unclaimed head.
 func (r *router) markClaimable(port, vc int) {
@@ -443,10 +482,23 @@ func (r *router) trySendPhit(cycle int64, port, vc int) bool {
 			r.markClaimable(int(t.inPort), int(t.inVC))
 		}
 		if op.link == nil {
-			r.deliver(cycle, pkt)
+			if port == r.eng.topo.Ports {
+				r.dropPacket(cycle, pkt)
+			} else {
+				r.deliver(cycle, pkt)
+			}
 		}
 	}
 	return true
+}
+
+// dropPacket finalizes a packet at the fault-drop sink: it was unroutable
+// (no surviving candidates), its phits have drained, and it leaves the run
+// as a FaultDrops count instead of a delivery.
+func (r *router) dropPacket(cycle int64, pkt *Packet) {
+	r.sheet.RecordFaultDrop(cycle, int(pkt.Phase))
+	r.prog.live--
+	freePacket(pkt)
 }
 
 // deliver finalizes a packet at its ejection port.
@@ -521,12 +573,23 @@ func (r *router) claimHead(cycle int64, port, vc int) {
 		if dec.Wait {
 			return
 		}
-		outPortIdx, outVC = dec.Port, dec.VC
-		if !r.CanClaim(outPortIdx, outVC, int(pkt.Size)) {
-			panic(fmt.Sprintf("engine: %s routed to unclaimable (%d,%d) at router %d",
-				r.alg.Name(), outPortIdx, outVC, r.id))
+		if dec.Drop {
+			// Link failures left the packet without a surviving route:
+			// claim it onto the drop sink, which drains it through the
+			// normal transfer machinery (credits return upstream) and
+			// accounts a fault drop at the tail.
+			outPortIdx, outVC = e.topo.Ports, 0
+			if !r.CanClaim(outPortIdx, outVC, int(pkt.Size)) {
+				return // the sink is draining another packet; retry
+			}
+		} else {
+			outPortIdx, outVC = dec.Port, dec.VC
+			if !r.CanClaim(outPortIdx, outVC, int(pkt.Size)) {
+				panic(fmt.Sprintf("engine: %s routed to unclaimable (%d,%d) at router %d",
+					r.alg.Name(), outPortIdx, outVC, r.id))
+			}
+			core.CommitHop(e.topo, &pkt.St, r.id, dec)
 		}
-		core.CommitHop(e.topo, &pkt.St, r.id, dec)
 	}
 	op := &r.out[outPortIdx]
 	op.transfers[outVC] = transfer{active: true, inPort: int16(port), inVC: int8(vc), pkt: pkt}

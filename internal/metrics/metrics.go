@@ -33,6 +33,7 @@ type windowCell struct {
 	PhitsDelivered int64
 	Generated      int64
 	InjectionLost  int64
+	FaultDrops     int64
 
 	TotalLatencySum float64
 	LocalMis        int64
@@ -46,6 +47,7 @@ func (c *windowCell) merge(o *windowCell) {
 	c.PhitsDelivered += o.PhitsDelivered
 	c.Generated += o.Generated
 	c.InjectionLost += o.InjectionLost
+	c.FaultDrops += o.FaultDrops
 	c.TotalLatencySum += o.TotalLatencySum
 	c.LocalMis += o.LocalMis
 	c.GlobalMis += o.GlobalMis
@@ -85,6 +87,7 @@ type phaseCell struct {
 	InjectionLost  int64
 	Injected       int64
 	Delivered      int64
+	FaultDrops     int64
 	PhitsDelivered int64
 
 	TotalLatencySum   float64
@@ -98,6 +101,7 @@ func (c *phaseCell) merge(o *phaseCell) {
 	c.InjectionLost += o.InjectionLost
 	c.Injected += o.Injected
 	c.Delivered += o.Delivered
+	c.FaultDrops += o.FaultDrops
 	c.PhitsDelivered += o.PhitsDelivered
 	c.TotalLatencySum += o.TotalLatencySum
 	c.NetworkLatencySum += o.NetworkLatencySum
@@ -112,6 +116,7 @@ type Sheet struct {
 	InjectionLost  int64 // generation events dropped: injection queue full
 	Injected       int64 // packets accepted into an injection queue
 	Delivered      int64 // packets fully consumed at their destination
+	FaultDrops     int64 // packets discarded in-network: no surviving route
 	PhitsDelivered int64
 
 	// Latency sums, in cycles, over delivered packets.
@@ -230,6 +235,18 @@ func (s *Sheet) RecordInjected(cycle int64, phase int) {
 	}
 }
 
+// RecordFaultDrop accounts one packet discarded at cycle because link
+// failures left it without a surviving route.
+func (s *Sheet) RecordFaultDrop(cycle int64, phase int) {
+	s.FaultDrops++
+	if s.windowWidth > 0 {
+		s.windowAt(cycle).FaultDrops++
+	}
+	if c := s.phaseAt(phase); c != nil {
+		c.FaultDrops++
+	}
+}
+
 // RecordInjectionLost accounts one generation event dropped at cycle in
 // phase because the injection queue was full.
 func (s *Sheet) RecordInjectionLost(cycle int64, phase int) {
@@ -252,6 +269,7 @@ func (s *Sheet) Merge(other *Sheet) {
 	s.InjectionLost += other.InjectionLost
 	s.Injected += other.Injected
 	s.Delivered += other.Delivered
+	s.FaultDrops += other.FaultDrops
 	s.PhitsDelivered += other.PhitsDelivered
 	s.TotalLatencySum += other.TotalLatencySum
 	s.NetworkLatencySum += other.NetworkLatencySum
@@ -329,6 +347,7 @@ type Window struct {
 	Delivered     int64
 	Generated     int64
 	InjectionLost int64
+	FaultDrops    int64
 }
 
 // Timeline is the windowed time series of a run: the whole run (warmup
@@ -367,6 +386,7 @@ type PhaseDigest struct {
 	Generated     int64
 	InjectionLost int64
 	Delivered     int64
+	FaultDrops    int64
 }
 
 // Timeline digests the window accumulators into the run's time series.
@@ -397,6 +417,7 @@ func (s *Sheet) Timeline(totalCycles int64, nodes int) *Timeline {
 		w.Delivered = c.Delivered
 		w.Generated = c.Generated
 		w.InjectionLost = c.InjectionLost
+		w.FaultDrops = c.FaultDrops
 		if span := w.End - w.Start; span > 0 && nodes > 0 {
 			w.AcceptedLoad = float64(c.PhitsDelivered) / float64(span) / float64(nodes)
 		}
@@ -426,6 +447,7 @@ func (s *Sheet) PhaseDigests(infos []PhaseInfo, totalCycles int64) []PhaseDigest
 		d.Generated = c.Generated
 		d.InjectionLost = c.InjectionLost
 		d.Delivered = c.Delivered
+		d.FaultDrops = c.FaultDrops
 		if i < len(infos) {
 			info := infos[i]
 			d.Label = info.Label
@@ -473,6 +495,9 @@ type Result struct {
 	Delivered     int64
 	Generated     int64
 	InjectionLost int64
+	// FaultDrops counts packets discarded in-network because link failures
+	// left them without a surviving route (zero on fault-free runs).
+	FaultDrops int64
 
 	// PhitsMoved counts every crossbar phit movement over the whole run
 	// (warmup included), the engine's raw unit of work; benchmark
@@ -497,6 +522,7 @@ func Digest(s *Sheet, cycles int64, nodes, localLinks, globalLinks int) Result {
 		Delivered:     s.Delivered,
 		Generated:     s.Generated,
 		InjectionLost: s.InjectionLost,
+		FaultDrops:    s.FaultDrops,
 	}
 	if cycles > 0 && nodes > 0 {
 		r.AcceptedLoad = float64(s.PhitsDelivered) / float64(cycles) / float64(nodes)

@@ -230,3 +230,50 @@ func TestSeriesSort(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultDropAccounting: fault drops land in the run counters, the
+// covering timeline window, and the generating phase's digest, and they
+// survive Merge like every other counter.
+func TestFaultDropAccounting(t *testing.T) {
+	var s Sheet
+	s.Configure(100, 2)
+	s.RecordInjected(10, 0)
+	s.RecordInjected(20, 1)
+	s.RecordFaultDrop(150, 0)
+	s.RecordFaultDrop(250, 1)
+	s.RecordFaultDrop(250, 1)
+
+	var other Sheet
+	other.Configure(100, 2)
+	other.RecordFaultDrop(50, 0)
+	s.Merge(&other)
+
+	if s.FaultDrops != 4 {
+		t.Fatalf("FaultDrops = %d, want 4", s.FaultDrops)
+	}
+	tl := s.Timeline(300, 10)
+	if tl == nil || len(tl.Windows) != 3 {
+		t.Fatalf("timeline %+v", tl)
+	}
+	if got := []int64{tl.Windows[0].FaultDrops, tl.Windows[1].FaultDrops, tl.Windows[2].FaultDrops}; got[0] != 1 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("window fault drops %v, want [1 1 2]", got)
+	}
+	ds := s.PhaseDigests([]PhaseInfo{{Label: "a", Nodes: 10}, {Label: "b", Nodes: 10}}, 300)
+	if ds[0].FaultDrops != 2 || ds[1].FaultDrops != 2 {
+		t.Fatalf("phase fault drops %d/%d, want 2/2", ds[0].FaultDrops, ds[1].FaultDrops)
+	}
+	r := Digest(&s, 300, 10, 1, 1)
+	if r.FaultDrops != 4 {
+		t.Fatalf("digested FaultDrops = %d, want 4", r.FaultDrops)
+	}
+
+	// Reset clears the run counter but, like deliveries, the windows keep
+	// their whole-run view.
+	s.Reset()
+	if s.FaultDrops != 0 {
+		t.Fatal("Reset kept the run counter")
+	}
+	if tl := s.Timeline(300, 10); tl.Windows[2].FaultDrops != 2 {
+		t.Fatal("Reset wiped the window accumulators")
+	}
+}

@@ -18,6 +18,7 @@ const (
 	TotalLatency                  // cycles, generation -> delivery
 	NetworkLatency                // cycles, injection -> delivery
 	ConsumptionTime               // kilocycles to drain a burst
+	FaultDropRate                 // fault drops per generated packet
 )
 
 // String names the metric as the paper's axis labels do.
@@ -31,6 +32,8 @@ func (m Metric) String() string {
 		return "Average network latency (cycles)"
 	case ConsumptionTime:
 		return "Burst consumption time (1000 cycles)"
+	case FaultDropRate:
+		return "Fault drops per generated packet"
 	}
 	return "unknown"
 }
@@ -51,6 +54,11 @@ func (m Metric) value(p Point) float64 {
 		return p.Result.AvgNetworkLatency
 	case ConsumptionTime:
 		return float64(p.Result.ConsumptionCycles) / 1000
+	case FaultDropRate:
+		if p.Result.Generated == 0 {
+			return 0
+		}
+		return float64(p.Result.FaultDrops) / float64(p.Result.Generated)
 	}
 	return math.NaN()
 }

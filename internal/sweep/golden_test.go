@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	dragonfly "repro"
+)
+
+// -update regenerates the golden files from the current writer output:
+//
+//	go test ./internal/sweep -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSeries is a fixed, hand-built figure input covering the writer
+// edge cases: several series, a failed point (NaN in DAT, "error" in
+// markdown), a deadlocked point, and a fault-drop column.
+func goldenSeries() []Series {
+	res := func(accepted, latency float64, drops int64) dragonfly.Result {
+		return dragonfly.Result{
+			AcceptedLoad:    accepted,
+			AvgTotalLatency: latency,
+			Generated:       1000,
+			FaultDrops:      drops,
+		}
+	}
+	deadlocked := res(0.05, 9000, 0)
+	deadlocked.Deadlock = true
+	return []Series{
+		{Name: "Minimal", Points: []Point{
+			{X: 0.1, Result: res(0.1, 25, 0)},
+			{X: 0.5, Result: res(0.42, 310.25, 120)},
+			{X: 0.9, Result: deadlocked},
+		}},
+		{Name: "OLM", Points: []Point{
+			{X: 0.1, Result: res(0.1, 27.5, 0)},
+			{X: 0.5, Result: res(0.5, 55, 1)},
+			{X: 0.9, Err: fmt.Errorf("boom")},
+		}},
+	}
+}
+
+// goldenTimelines is a fixed transient-figure input: two series, one with
+// windows (including an empty window), one failed (nil timeline).
+func goldenTimelines() []TimelineSeries {
+	return []TimelineSeries{
+		{Name: "OLM", Timeline: &dragonfly.Timeline{
+			WindowCycles: 100,
+			Windows: []dragonfly.Window{
+				{Start: 0, End: 100, AcceptedLoad: 0.25, AvgTotalLatency: 40, P99Latency: 128},
+				{Start: 100, End: 200},
+				{Start: 200, End: 250, AcceptedLoad: 0.125, AvgTotalLatency: 60.5, P99Latency: 256},
+			},
+		}},
+		{Name: "Minimal", Timeline: nil},
+	}
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Golden files pin the exact bytes figure pipelines
+// emit, so an accidental format change shows up in review as a diff here
+// instead of as churn in downstream plots.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden file.\n--- want\n%s--- got\n%s\n(rerun with -update if the change is intentional)",
+			name, want, got)
+	}
+}
+
+func TestGoldenWriteDAT(t *testing.T) {
+	for _, m := range []Metric{AcceptedLoad, TotalLatency, FaultDropRate} {
+		var buf bytes.Buffer
+		if err := WriteDAT(&buf, "Offered load", m, goldenSeries()); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, fmt.Sprintf("dat_metric%d", int(m)), buf.Bytes())
+	}
+}
+
+func TestGoldenWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, "load", AcceptedLoad, goldenSeries()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "markdown", buf.Bytes())
+}
+
+func TestGoldenWriteTimelineDAT(t *testing.T) {
+	for _, m := range []TimelineMetric{WindowAccepted, WindowLatency, WindowP99} {
+		var buf bytes.Buffer
+		if err := WriteTimelineDAT(&buf, m, goldenTimelines()); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, fmt.Sprintf("timeline_metric%d", int(m)), buf.Bytes())
+	}
+}

@@ -142,6 +142,27 @@ func BurstSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, percent
 	return exec(camp, newSeries(mechNames(mechanisms), len(percents)), len(percents), opt)
 }
 
+// FaultSweep sweeps the global-link failure fraction at the base config's
+// offered load for each mechanism — the resilience figure. Fraction 0 is
+// the pristine network; each faulted point draws its failed links
+// deterministically from the base seed.
+func FaultSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, fractions []float64, opt Options) ([]Series, error) {
+	if len(mechanisms) == 0 || len(fractions) == 0 {
+		return nil, fmt.Errorf("sweep: empty mechanism or fraction list")
+	}
+	camp := exp.NewMatrix(base).
+		Mechanisms(mechanisms...).
+		XAxis(fractions, func(c *dragonfly.Config, x float64) {
+			if x > 0 {
+				c.Faults = &dragonfly.FaultSpec{GlobalFraction: x}
+			} else {
+				c.Faults = nil
+			}
+		}).
+		Campaign("fault-sweep")
+	return exec(camp, newSeries(mechNames(mechanisms), len(fractions)), len(fractions), opt)
+}
+
 // ThresholdSweep sweeps the misrouting threshold for one mechanism over
 // offered load (Figures 10, 11). Thresholds are fractions (0.45 = 45%).
 func ThresholdSweep(base dragonfly.Config, mechanism dragonfly.Mechanism, thresholds, loads []float64, opt Options) ([]Series, error) {

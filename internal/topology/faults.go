@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// FaultSet tracks which links of a dragonfly are failed, as one output-port
+// bitmask per router. A link is a full-duplex physical channel: failing it
+// always removes both directions, so the masks of the two endpoint routers
+// stay symmetric. The engine mirrors these masks into its routers and
+// consults them on every route evaluation; the routing mechanisms see them
+// through core.View (link-state knowledge, the information a subnet manager
+// broadcasting failed links would give recomputed routing tables).
+//
+// A FaultSet is plain data with no synchronization: the engine only mutates
+// it in the serial section between cycles.
+type FaultSet struct {
+	p    *P
+	down []uint64 // per-router output-port mask, bit set = link failed
+
+	downGlobal int // failed global links (physical, both directions = one)
+	downLocal  int // failed local links
+}
+
+// NewFaultSet returns an all-links-alive fault set for topology p.
+func NewFaultSet(p *P) *FaultSet {
+	return &FaultSet{p: p, down: make([]uint64, p.Routers)}
+}
+
+// Topology returns the dragonfly the set describes.
+func (f *FaultSet) Topology() *P { return f.p }
+
+// Clone returns an independent copy.
+func (f *FaultSet) Clone() *FaultSet {
+	c := &FaultSet{
+		p:          f.p,
+		down:       make([]uint64, len(f.down)),
+		downGlobal: f.downGlobal,
+		downLocal:  f.downLocal,
+	}
+	copy(c.down, f.down)
+	return c
+}
+
+// SetLink fails (down=true) or repairs (down=false) the physical link
+// driven by the given output port of router r, in both directions. Setting
+// a link to its current state is a no-op. It panics on ejection ports,
+// which have no link.
+func (f *FaultSet) SetLink(r, port int, down bool) {
+	if !f.p.IsLocalPort(port) && !f.p.IsGlobalPort(port) {
+		panic(fmt.Sprintf("topology: SetLink(%d, %d): not a link port", r, port))
+	}
+	if f.Down(r, port) == down {
+		return
+	}
+	rr, rp := f.p.LinkTarget(r, port)
+	bit, rbit := uint64(1)<<uint(port), uint64(1)<<uint(rp)
+	if down {
+		f.down[r] |= bit
+		f.down[rr] |= rbit
+	} else {
+		f.down[r] &^= bit
+		f.down[rr] &^= rbit
+	}
+	delta := 1
+	if !down {
+		delta = -1
+	}
+	if f.p.IsGlobalPort(port) {
+		f.downGlobal += delta
+	} else {
+		f.downLocal += delta
+	}
+}
+
+// Down reports whether the link on output port of router r is failed.
+func (f *FaultSet) Down(r, port int) bool {
+	return f.down[r]&(1<<uint(port)) != 0
+}
+
+// PortMask returns router r's failed-port bitmask.
+func (f *FaultSet) PortMask(r int) uint64 { return f.down[r] }
+
+// DownGlobal and DownLocal count the failed physical links per class.
+func (f *FaultSet) DownGlobal() int { return f.downGlobal }
+
+// DownLocal counts the failed local links.
+func (f *FaultSet) DownLocal() int { return f.downLocal }
+
+// Empty reports whether every link is alive.
+func (f *FaultSet) Empty() bool { return f.downGlobal == 0 && f.downLocal == 0 }
+
+// RouteDown reports whether the single global channel from group g to group
+// tg is failed. It is the group-pair reachability question every mechanism
+// asks when steering toward a remote group.
+func (f *FaultSet) RouteDown(g, tg int) bool {
+	if g == tg {
+		return false
+	}
+	k := f.p.ChannelToGroup(g, tg)
+	idx, port := f.p.GlobalPortOfChannel(k)
+	return f.Down(f.p.RouterID(g, idx), port)
+}
+
+// LocalRouteDown reports whether the local link between router indices i
+// and j of group is failed.
+func (f *FaultSet) LocalRouteDown(group, i, j int) bool {
+	if i == j {
+		return false
+	}
+	return f.Down(f.p.RouterID(group, i), f.p.LocalPort(i, j))
+}
+
+// TotalGlobalLinks returns the number of physical global links of p: one
+// per unordered group pair.
+func TotalGlobalLinks(p *P) int { return p.Groups * (p.Groups - 1) / 2 }
+
+// TotalLocalLinks returns the number of physical local links of p: one per
+// unordered router pair inside each group.
+func TotalLocalLinks(p *P) int {
+	return p.Groups * p.RoutersPerGroup * (p.RoutersPerGroup - 1) / 2
+}
+
+// Connected reports whether every router can still reach every other over
+// the surviving links. Configurations that fail this check cannot be
+// simulated meaningfully (some traffic has no path at all), so callers
+// reject them up front.
+func (f *FaultSet) Connected() bool {
+	p := f.p
+	seen := make([]bool, p.Routers)
+	queue := make([]int, 0, p.Routers)
+	seen[0] = true
+	queue = append(queue, 0)
+	visited := 1
+	for len(queue) > 0 {
+		r := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for port := 0; port < p.EjectPortBase(); port++ {
+			if f.Down(r, port) {
+				continue
+			}
+			rr, _ := p.LinkTarget(r, port)
+			if !seen[rr] {
+				seen[rr] = true
+				visited++
+				queue = append(queue, rr)
+			}
+		}
+	}
+	return visited == p.Routers
+}
+
+// RandomFaults fails a deterministic pseudo-random selection of links in f:
+// round(globalFrac * TotalGlobalLinks) global links and round(localFrac *
+// TotalLocalLinks) local links, drawn without replacement from a SplitMix
+// stream of seed. The same (topology, fractions, seed) always yields the
+// same failed set, so configurations remain content-addressable.
+func RandomFaults(f *FaultSet, globalFrac, localFrac float64, seed uint64) error {
+	// The negated form rejects NaN along with out-of-range values.
+	if !(globalFrac >= 0 && globalFrac < 1) || !(localFrac >= 0 && localFrac < 1) {
+		return fmt.Errorf("topology: fault fractions %v/%v outside [0, 1)", globalFrac, localFrac)
+	}
+	p := f.p
+	// Streams 1e9+1/1e9+3 sit far from the engine's per-router (2id+1) and
+	// per-node (2node+2e6) streams for every simulatable size.
+	if globalFrac > 0 {
+		r := rng.New(seed, 1_000_000_001)
+		links := make([][2]int, 0, TotalGlobalLinks(p))
+		for g := 0; g < p.Groups; g++ {
+			for k := 0; k < p.ChannelsPerGrp; k++ {
+				if p.TargetGroup(g, k) < g {
+					continue // counted from the lower-numbered group
+				}
+				idx, port := p.GlobalPortOfChannel(k)
+				links = append(links, [2]int{p.RouterID(g, idx), port})
+			}
+		}
+		for _, l := range pickLinks(links, globalFrac, r) {
+			f.SetLink(l[0], l[1], true)
+		}
+	}
+	if localFrac > 0 {
+		r := rng.New(seed, 1_000_000_003)
+		links := make([][2]int, 0, TotalLocalLinks(p))
+		for g := 0; g < p.Groups; g++ {
+			for i := 0; i < p.RoutersPerGroup; i++ {
+				for j := i + 1; j < p.RoutersPerGroup; j++ {
+					links = append(links, [2]int{p.RouterID(g, i), p.LocalPort(i, j)})
+				}
+			}
+		}
+		for _, l := range pickLinks(links, localFrac, r) {
+			f.SetLink(l[0], l[1], true)
+		}
+	}
+	return nil
+}
+
+// pickLinks selects round(frac*len) links by partial Fisher-Yates shuffle.
+func pickLinks(links [][2]int, frac float64, r *rng.PCG) [][2]int {
+	n := int(math.Round(frac * float64(len(links))))
+	if n > len(links) {
+		n = len(links)
+	}
+	for i := 0; i < n; i++ {
+		j := i + r.Intn(len(links)-i)
+		links[i], links[j] = links[j], links[i]
+	}
+	return links[:n]
+}
