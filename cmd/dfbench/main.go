@@ -1,7 +1,8 @@
 // Command dfbench runs a fixed matrix of simulation scenarios and reports
 // engine throughput — simulated cycles per wall-clock second and crossbar
-// phits per second — for each point, as JSON. The matrix is held constant
-// across PRs (h ∈ {2,3}, VCT and WH, five mechanisms, uniform and
+// phits per second — plus stepping-phase allocation counts for each point,
+// as JSON. The matrix is held constant across PRs (h ∈ {2,3}, VCT and WH,
+// seven mechanisms — RLM and OLM joined in BENCH_2 — uniform and
 // adversarial traffic, low and saturation load, serial and 4-worker
 // execution) so successive BENCH_<n>.json files track the engine's
 // performance trajectory over time.
@@ -53,6 +54,13 @@ type Point struct {
 	PhitsMoved   int64   `json:"phits_moved"`
 	PhitsPerSec  float64 `json:"phits_per_sec"`
 
+	// AllocBytes and Allocs are the heap traffic of the reported (fastest)
+	// repetition's stepping phase, from runtime.ReadMemStats deltas —
+	// construction (Prepare) excluded. They surface allocation regressions
+	// that wall time alone can hide.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Allocs     uint64 `json:"allocs"`
+
 	AcceptedLoad float64 `json:"accepted_load"`
 	Deadlock     bool    `json:"deadlock"`
 }
@@ -97,9 +105,12 @@ func main() {
 		{dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, 0.05},
 		{dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: 1}, 1.0},
 	}
+	// RLM and OLM (the paper's contributions, and the most route-
+	// evaluation-bound mechanisms) joined the matrix in BENCH_2; baseline
+	// comparisons simply skip points absent from older reports.
 	mechs := []dragonfly.Mechanism{
 		dragonfly.Minimal, dragonfly.Valiant, dragonfly.PAR62,
-		dragonfly.Piggybacking, dragonfly.OFAR,
+		dragonfly.Piggybacking, dragonfly.RLM, dragonfly.OLM, dragonfly.OFAR,
 	}
 
 	// The fixed benchmark matrix, declaratively. Reduced link latencies
@@ -151,28 +162,38 @@ func main() {
 	// and the minimum is the cleanest estimate.
 	walls := make([]float64, len(camp.Points))
 	cycles := make([]int64, len(camp.Points))
+	allocBytes := make([]uint64, len(camp.Points))
+	allocs := make([]uint64, len(camp.Points))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opt := exp.Options{
 		Workers: *par,
 		Run: func(ctx context.Context, index int, p exp.Point) (dragonfly.Result, error) {
 			var best dragonfly.Result
+			var ms0, ms1 runtime.MemStats
 			for i := 0; i < *reps; i++ {
 				sim, err := dragonfly.Prepare(p.Config)
 				if err != nil {
 					return dragonfly.Result{}, err
 				}
+				// Allocation accounting brackets the stepping phase only
+				// (Prepare excluded); both ReadMemStats probes sit outside
+				// the wall-clock window.
+				runtime.ReadMemStats(&ms0)
 				start := time.Now()
 				res, err := sim.RunContext(ctx)
+				wall := time.Since(start).Seconds()
 				if err != nil {
 					return dragonfly.Result{}, err
 				}
-				wall := time.Since(start).Seconds()
+				runtime.ReadMemStats(&ms1)
 				if i == 0 || wall < walls[index] {
 					// Cycles actually simulated: warmup+measure unless a
 					// watchdog ended the run early, in which case the
 					// throughput covers the truncated run.
 					walls[index], cycles[index], best = wall, sim.Cycles(), res
+					allocBytes[index] = ms1.TotalAlloc - ms0.TotalAlloc
+					allocs[index] = ms1.Mallocs - ms0.Mallocs
 				}
 			}
 			return best, nil
@@ -207,6 +228,8 @@ func main() {
 			CyclesPerSec: float64(cycles[o.Index]) / walls[o.Index],
 			PhitsMoved:   res.PhitsMoved,
 			PhitsPerSec:  float64(res.PhitsMoved) / walls[o.Index],
+			AllocBytes:   allocBytes[o.Index],
+			Allocs:       allocs[o.Index],
 
 			AcceptedLoad: res.AcceptedLoad,
 			Deadlock:     res.Deadlock,
@@ -262,24 +285,30 @@ func compareBaseline(w io.Writer, rep Report, path string, maxRegress float64) b
 	fatalIf(err)
 	var base Report
 	fatalIf(json.Unmarshal(buf, &base))
-	old := make(map[pointKey]float64, len(base.Points))
+	old := make(map[pointKey]Point, len(base.Points))
 	for _, p := range base.Points {
-		old[p.key()] = p.CyclesPerSec
+		old[p.key()] = p
 	}
 
-	var ratios []float64
+	var ratios, allocRatios []float64
 	floor := 1 - maxRegress
 	for _, p := range rep.Points {
 		was, ok := old[p.key()]
-		if !ok || was <= 0 || p.CyclesPerSec <= 0 {
+		if !ok || was.CyclesPerSec <= 0 || p.CyclesPerSec <= 0 {
 			continue
 		}
-		ratio := p.CyclesPerSec / was
+		ratio := p.CyclesPerSec / was.CyclesPerSec
 		ratios = append(ratios, ratio)
 		if ratio < floor {
 			fmt.Fprintf(w, "::warning title=dfbench point regression::%s %s %s load=%.2f w=%d: %.0f -> %.0f cycles/s (%.0f%%)\n",
 				p.Flow, p.Mechanism, p.Pattern, p.Load, p.Workers,
-				was, p.CyclesPerSec, 100*ratio)
+				was.CyclesPerSec, p.CyclesPerSec, 100*ratio)
+		}
+		// Allocation comparison is report-only: stepping is expected to
+		// run allocation-free, so any growth is worth a look, but GC
+		// timing makes single points too noisy to gate on.
+		if was.AllocBytes > 0 && p.AllocBytes > 0 {
+			allocRatios = append(allocRatios, float64(p.AllocBytes)/float64(was.AllocBytes))
 		}
 	}
 	if len(ratios) == 0 {
@@ -287,18 +316,29 @@ func compareBaseline(w io.Writer, rep Report, path string, maxRegress float64) b
 		return false
 	}
 	sort.Float64s(ratios)
-	median := ratios[len(ratios)/2]
-	if len(ratios)%2 == 0 {
-		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
-	}
+	median := medianOf(ratios)
 	fmt.Fprintf(w, "dfbench: %d points vs %s: median %.0f%%, min %.0f%%, max %.0f%% of baseline sim_cycles_per_sec\n",
 		len(ratios), path, 100*median, 100*ratios[0], 100*ratios[len(ratios)-1])
+	if len(allocRatios) > 0 {
+		sort.Float64s(allocRatios)
+		fmt.Fprintf(w, "dfbench: stepping allocations vs %s: median %.0f%%, max %.0f%% of baseline alloc_bytes\n",
+			path, 100*medianOf(allocRatios), 100*allocRatios[len(allocRatios)-1])
+	}
 	if median < floor {
 		fmt.Fprintf(w, "::error title=dfbench perf regression::median sim_cycles_per_sec is %.0f%% of %s (floor %.0f%%)\n",
 			100*median, path, 100*floor)
 		return false
 	}
 	return true
+}
+
+// medianOf returns the median of an already-sorted slice.
+func medianOf(xs []float64) float64 {
+	m := xs[len(xs)/2]
+	if len(xs)%2 == 0 {
+		m = (xs[len(xs)/2-1] + xs[len(xs)/2]) / 2
+	}
+	return m
 }
 
 func fatalIf(err error) {

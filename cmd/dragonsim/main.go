@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	dragonfly "repro"
 	"repro/internal/cliutil"
@@ -42,7 +44,10 @@ func main() {
 		measure   = flag.Int64("measure", 6000, "measured cycles")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 1, "intra-simulation worker count")
+		stale     = flag.Int64("stale", 0, "cycles the routing view lags behind fault events (stale link state)")
 		asJSON    = flag.Bool("json", false, "print the result as JSON")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
 
@@ -64,6 +69,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.WindowCycles = *window
+	cfg.StaleCycles = *stale
 
 	if *faults != "" {
 		cfg.Faults, err = cliutil.Faults(*faults, *h)
@@ -90,8 +96,23 @@ func main() {
 			*h, routers, nodes, groups, m, f)
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		fatalIf(err)
+		fatalIf(pprof.StartCPUProfile(f))
+	}
 	res, err := dragonfly.Run(cfg)
 	fatalIf(err)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		fatalIf(err)
+		runtime.GC() // surface live heap, not garbage
+		fatalIf(pprof.WriteHeapProfile(f))
+		fatalIf(f.Close())
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -309,6 +309,19 @@ type Config struct {
 	// Result.FaultDrops.
 	Faults *FaultSpec `json:",omitempty"`
 
+	// StaleCycles delays the routing view of every fault event by this
+	// many cycles: a link killed (or repaired) at cycle C stops (or
+	// resumes) carrying traffic immediately, but the routing tables the
+	// mechanisms consult only learn of it at C+StaleCycles — modeling a
+	// fabric manager that needs time to detect the event, broadcast it
+	// and recompute the tables. During the stale window packets keep
+	// steering toward dead links (they wait, then drop once the tables
+	// catch up) and avoid repaired ones. Zero — the default — models
+	// instantaneous link-state knowledge and is bit-identical to the
+	// behavior before this knob existed. It only affects runs with
+	// Faults.Events; initial faults are always known at boot.
+	StaleCycles int64 `json:",omitempty"`
+
 	Warmup  int64 // steady-state warmup cycles (default 3000)
 	Measure int64 // steady-state measured cycles (default 6000)
 
@@ -487,6 +500,9 @@ func (c Config) Validate() error {
 	}
 	if c.WindowCycles < 0 {
 		return fmt.Errorf("dragonfly: negative WindowCycles %d", c.WindowCycles)
+	}
+	if c.StaleCycles < 0 {
+		return fmt.Errorf("dragonfly: negative StaleCycles %d", c.StaleCycles)
 	}
 	if len(c.Phases) > 0 && len(c.Workload) > 0 {
 		return fmt.Errorf("dragonfly: Phases and Workload are mutually exclusive")
@@ -687,6 +703,11 @@ func (c Config) Canonical() Config {
 	} else {
 		c.Faults = c.Faults.canonical(c.H)
 	}
+	if c.Faults == nil || len(c.Faults.Events) == 0 {
+		// Staleness only delays the routing view of *events*; without any
+		// it cannot affect results, so equivalent configs share cache keys.
+		c.StaleCycles = 0
+	}
 	c.Workers = 0
 	return c
 }
@@ -830,6 +851,7 @@ func (c Config) build() (engine.Config, *topology.P, error) {
 		Workers:         c.Workers,
 		Workload:        w,
 		WindowCycles:    c.WindowCycles,
+		StaleCycles:     c.StaleCycles,
 		Warmup:          c.Warmup,
 		Measure:         c.Measure,
 		MaxCycles:       c.MaxCycles,

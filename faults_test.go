@@ -217,3 +217,32 @@ func TestFaultedRunsDiffer(t *testing.T) {
 		t.Fatal("25% global faults left OLM's behavior unchanged (suspicious)")
 	}
 }
+
+// TestStaleCyclesConfig covers the stale-link-state knob's config surface:
+// negative values are rejected, staleness without fault events is
+// canonicalized away (it cannot affect results, so the spellings share a
+// cache key), and staleness with events survives canonicalization.
+func TestStaleCyclesConfig(t *testing.T) {
+	cfg := fast(dragonfly.Minimal)
+	cfg.Load = 0.2
+	cfg.StaleCycles = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative StaleCycles accepted")
+	}
+
+	cfg.StaleCycles = 400
+	if got := cfg.Canonical().StaleCycles; got != 0 {
+		t.Errorf("StaleCycles %d survived canonicalization without fault events", got)
+	}
+	cfg.Faults = &dragonfly.FaultSpec{GlobalFraction: 0.1}
+	if got := cfg.Canonical().StaleCycles; got != 0 {
+		t.Errorf("StaleCycles %d survived canonicalization with static faults only", got)
+	}
+	cfg.Faults.Events = []dragonfly.FaultEvent{{At: 100, Link: dragonfly.LinkID{Router: 0, Port: 0}}}
+	if got := cfg.Canonical().StaleCycles; got != 400 {
+		t.Errorf("Canonical dropped StaleCycles with fault events present (got %d)", got)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid stale config rejected: %v", err)
+	}
+}

@@ -15,6 +15,13 @@
 //     (the destination group includes intra-group traffic): a detour to a
 //     neighbor k followed by a forced hop to the local exit j.
 //
+// The decision path is table-driven: minimal hops, detour candidate lists
+// (with RLM's parity restriction pre-applied) and pair-rule queries all
+// come from the shared core.Tables, and candidates accumulate in a
+// preallocated per-router arena. Candidate order and RNG consumption match
+// the recomputing implementation exactly, so decisions are bit-identical
+// (TestPlanRouteEquivalence holds the two together).
+//
 // The mechanisms differ in their virtual-channel discipline and in the
 // constraint on local misrouting:
 //
@@ -29,36 +36,73 @@
 //	         escape path always remains: 3/2 VCs, VCT only.
 package core
 
-import (
-	"math"
-
-	"repro/internal/rng"
-)
+import "repro/internal/rng"
 
 // maxLocalHopsPerGroup is the per-supernode local hop budget (the longest
 // route is l-l-g-l-l-g-l-l).
 const maxLocalHopsPerGroup = 2
 
-// candidate is one claimable non-minimal output under consideration.
-type candidate struct {
-	dec Decision
-}
-
 type adaptive struct {
 	cfg  Config
 	spec Spec
-	pair restrictedPairChecker // RLM/RLMSignOnly; nil otherwise
+	tab  *Tables
 
-	cands []candidate // scratch, reused across calls (one instance/router)
+	cands []Decision // scratch arena, reused across calls (one instance/router)
+
+	// fracs[port] caches float64(occ)/float64(cap) for every legal
+	// occupancy of the port's downstream buffer (View.Capacity is constant
+	// per port for the life of a view), replacing the division and the
+	// Capacity query of the trigger evaluation with one indexed load. The
+	// values are computed by the exact division they replace, so the
+	// lookups are bit-identical. Built lazily per port; slices are shared
+	// across ports of equal capacity via byCap.
+	fracs [][]float64
+	byCap map[int][]float64
 }
 
-func newAdaptive(spec Spec, cfg Config, pair restrictedPairChecker) *adaptive {
+func newAdaptive(spec Spec, tab *Tables) *adaptive {
+	// The arena's worst case: every own global port, every remote sample,
+	// and every local detour of a full candidate list.
 	return &adaptive{
-		cfg:   cfg,
+		cfg:   tab.cfg,
 		spec:  spec,
-		pair:  pair,
-		cands: make([]candidate, 0, 64),
+		tab:   tab,
+		cands: make([]Decision, 0, tab.h+tab.cfg.RemoteCandidates+tab.rpg),
+		fracs: make([][]float64, tab.cfg.Topo.Ports),
 	}
+}
+
+// fracAt returns occ normalized to the capacity of (port, vc) through the
+// per-port lookup table, building it on first use.
+func (a *adaptive) fracAt(v View, port, vc, occ int) float64 {
+	t := a.fracs[port]
+	if t == nil {
+		c := v.Capacity(port, vc)
+		if c <= 0 {
+			return 0
+		}
+		if a.byCap == nil {
+			a.byCap = make(map[int][]float64, 2)
+		}
+		t = a.byCap[c]
+		if t == nil {
+			t = make([]float64, c+1)
+			for o := 1; o <= c; o++ {
+				t[o] = float64(o) / float64(c)
+			}
+			a.byCap[c] = t
+		}
+		a.fracs[port] = t
+	}
+	if occ >= 0 && occ < len(t) {
+		return t[occ]
+	}
+	// Out-of-range occupancy (possible only for synthetic test views):
+	// fall back to the recomputing division.
+	if c := v.Capacity(port, vc); c > 0 {
+		return float64(occ) / float64(c)
+	}
+	return 0
 }
 
 func (a *adaptive) Name() string { return a.spec.String() }
@@ -71,8 +115,9 @@ func (a *adaptive) LocalVCs() int {
 	return 3
 }
 
-func (a *adaptive) GlobalVCs() int    { return 2 }
-func (a *adaptive) RequiresVCT() bool { return a.spec == OLM }
+func (a *adaptive) GlobalVCs() int        { return 2 }
+func (a *adaptive) RequiresVCT() bool     { return a.spec == OLM }
+func (a *adaptive) UsesHeadArrival() bool { return a.spec == OFAR }
 
 // localVC returns the VC for a minimal (or forced) local hop.
 func (a *adaptive) localVC(st *PacketState) int {
@@ -157,123 +202,48 @@ func (a *adaptive) globalMisrouteAllowed(st *PacketState) bool {
 		st.PendingLocal < 0
 }
 
-// Route implements Algorithm.
+// Route implements Algorithm as one-shot build-plus-replay, so the
+// recomputing entry point and the engine's cached-plan path share a single
+// decision procedure. The misrouting trigger lives in RoutePlanned: a
+// candidate is eligible when its normalized downstream occupancy is below
+// the threshold percentage of the congestion seen on the minimal route —
+// the larger of the minimal output's downstream occupancy and the backlog
+// of the queue the packet sits in (a saturated link keeps its downstream
+// buffer drained; the wire is the bottleneck, as in ADVL and the ADVG+h
+// transit links, so the queue the packet is stuck in carries the signal).
+//
+// The two misrouting kinds arm differently:
+//
+//   - local misrouting arms whenever the minimal output cannot be
+//     claimed;
+//   - global misrouting (committing a Valiant detour that doubles the
+//     packet's global-link usage) arms only when the minimal output is
+//     credit-congested, mirroring PAR's "divert when the minimal global
+//     link is saturated".
+//
+// A dead minimal route lifts the occupancy limit entirely: the route is
+// not congested, it is gone, and recomputed routing tables would not
+// offer it at all.
 func (a *adaptive) Route(v View, st *PacketState, router, size int, r *rng.PCG) Decision {
-	p := a.cfg.Topo
-	idx := p.IndexInGroup(router)
-	faulty := v.Faulty()
-
-	// A forced hop after a local misroute: no adaptivity.
-	if st.PendingLocal >= 0 {
-		port := p.LocalPort(idx, int(st.PendingLocal))
-		if faulty && v.LinkDown(port) {
-			return dropDecision // a forced hop cannot re-route
-		}
-		vc := a.localVC(st)
-		if v.CanClaim(port, vc, size) {
-			return Decision{Port: port, VC: vc, Kind: KindMin, NewValiant: -1, LocalFinal: -1}
-		}
-		return waitDecision
-	}
-
-	minPort, minGlobal, exitIdx := minimalNext(p, st, router)
-	minVC := a.localVC(st)
-	if minGlobal {
-		minVC = a.globalVC(st)
-	}
-
-	// Fault state of the minimal route. deadRoute means the group's only
-	// channel toward the target group is gone — no local detour can bring
-	// it back; deadLocal means just the next local leg is gone, which a
-	// local misroute can bypass.
-	deadRoute, deadLocal := false, false
-	if faulty {
-		g := p.GroupOf(router)
-		if tg := st.targetGroup(); g != tg && v.RouteDown(g, tg) {
-			deadRoute = true
-		} else if v.LinkDown(minPort) {
-			if minGlobal {
-				deadRoute = true // a dead global minPort is the channel itself
-			} else {
-				deadLocal = true
-			}
-		}
-	}
-	deadMin := deadRoute || deadLocal
-
-	if !deadMin && v.CanClaim(minPort, minVC, size) {
-		return Decision{Port: minPort, VC: minVC, Kind: KindMin, NewValiant: -1, LocalFinal: -1}
-	}
-
-	// The minimal output is not available this cycle: evaluate the
-	// misrouting trigger. A candidate is eligible when its normalized
-	// downstream occupancy is below the threshold percentage of the
-	// congestion seen on the minimal route. That congestion is the
-	// larger of the minimal output's downstream occupancy and the
-	// backlog of the queue the packet sits in: a saturated link keeps
-	// its downstream buffer drained (the wire is the bottleneck, as in
-	// ADVL and the ADVG+h transit links), so the queue the packet is
-	// stuck in carries the signal.
-	//
-	// The two misrouting kinds arm differently:
-	//
-	//   - local misrouting arms whenever the minimal output cannot be
-	//     claimed;
-	//   - global misrouting (committing a Valiant detour that doubles
-	//     the packet's global-link usage) arms only when the minimal
-	//     output is credit-congested, mirroring PAR's "divert when the
-	//     minimal global link is saturated".
-	minFrac := occupancyFrac(v, minPort, minVC)
-	if qOcc, qCap := v.CurrentQueue(); qCap > 0 {
-		if f := float64(qOcc) / float64(qCap); f > minFrac {
-			minFrac = f
-		}
-	}
-	limit := a.cfg.Threshold * minFrac
-	if deadMin {
-		// The minimal route is not congested, it is gone: any surviving
-		// claimable candidate beats it (recomputed routing tables would
-		// not offer the dead route at all).
-		limit = math.Inf(1)
-	}
-	a.cands = a.cands[:0]
-	canGlobal := a.globalMisrouteAllowed(st)
-	if canGlobal && (deadMin || !v.CanStart(minPort, minVC, size)) {
-		a.globalCandidates(v, st, router, size, limit, r)
-	}
-	// Local misrouting cannot restore a dead group channel (each group
-	// pair has exactly one), so it stays unarmed for deadRoute.
-	canLocal := !minGlobal && !deadRoute && a.localMisrouteAllowed(st)
-	localStructural := 0
-	if canLocal {
-		localStructural = a.localCandidates(v, st, idx, exitIdx, size, limit)
-	}
-	if len(a.cands) == 0 {
-		if deadMin && !(canLocal && localStructural > 0) &&
-			!(canGlobal && a.liveGlobalDetour(v, st, router)) {
-			return dropDecision
-		}
-		return waitDecision
-	}
-	return a.cands[r.Intn(len(a.cands))].dec
+	var p Plan
+	a.BuildPlan(v, st, router, size, r, &p)
+	return a.RoutePlanned(v, &p, size, r)
 }
 
 // liveGlobalDetour reports whether some intermediate group the mechanism
 // could still commit to has both detour legs alive — mirroring the static
 // filters of globalCandidates, so a packet only drops when no candidate
 // can ever materialize.
-func (a *adaptive) liveGlobalDetour(v View, st *PacketState, router int) bool {
-	p := a.cfg.Topo
-	g := p.GroupOf(router)
-	idx := p.IndexInGroup(router)
-	for tg := 0; tg < p.Groups; tg++ {
+func (a *adaptive) liveGlobalDetour(v View, st *PacketState, idx, g int) bool {
+	t := a.tab
+	for tg := 0; tg < t.groups; tg++ {
 		if tg == g || tg == int(st.DstGroup) {
 			continue
 		}
 		if v.RouteDown(g, tg) || v.RouteDown(tg, int(st.DstGroup)) {
 			continue
 		}
-		owner := p.MinimalLocalTarget(router, tg)
+		owner := t.rt.OwnerOf(t.rt.GroupOffset(g, tg))
 		if owner == idx {
 			return true // this router's own live channel
 		}
@@ -285,9 +255,9 @@ func (a *adaptive) liveGlobalDetour(v View, st *PacketState, router int) bool {
 		if v.LocalDown(idx, owner) {
 			continue
 		}
-		if a.pair != nil && st.PrevRouter >= 0 {
-			prev := p.IndexInGroup(int(st.PrevRouter))
-			if !a.pair.AllowedHops(prev, idx, owner) {
+		if t.pairOK != nil && st.PrevRouter >= 0 {
+			prev := t.rt.IndexOf(int(st.PrevRouter))
+			if !t.pairAllowed(prev, idx, owner) {
 				continue
 			}
 		}
@@ -296,108 +266,9 @@ func (a *adaptive) liveGlobalDetour(v View, st *PacketState, router int) bool {
 	return false
 }
 
-// occupancyFrac returns downstream occupancy normalized to capacity.
-func occupancyFrac(v View, port, vc int) float64 {
-	c := v.Capacity(port, vc)
-	if c <= 0 {
-		return 0
-	}
-	return float64(v.Occupancy(port, vc)) / float64(c)
-}
-
 // eligible applies the trigger to one output: normalized occupancy below
 // the limit and claimable right now.
 func (a *adaptive) eligible(v View, port, vc, size int, limit float64) bool {
-	return occupancyFrac(v, port, vc) < limit && v.CanClaim(port, vc, size)
-}
-
-// globalCandidates collects Valiant commitments: the router's own global
-// ports and sampled remote channels (one local hop away).
-func (a *adaptive) globalCandidates(v View, st *PacketState, router, size int, limit float64, r *rng.PCG) {
-	p := a.cfg.Topo
-	g := p.GroupOf(router)
-	idx := p.IndexInGroup(router)
-	faulty := v.Faulty()
-	gvc := a.globalVC(st)
-	for port := p.GlobalPortBase(); port < p.EjectPortBase(); port++ {
-		tg := p.TargetGroup(g, p.GlobalChannelOfPort(idx, port))
-		if tg == int(st.DstGroup) {
-			continue // that would be the minimal channel
-		}
-		if faulty && v.RouteDown(tg, int(st.DstGroup)) {
-			continue // the detour's second leg is gone
-		}
-		if a.eligible(v, port, gvc, size, limit) {
-			a.cands = append(a.cands, candidate{Decision{
-				Port: port, VC: gvc, Kind: KindGlobalMis,
-				NewValiant: tg, LocalFinal: -1,
-			}})
-		}
-	}
-	if st.LocalHopsInGroup >= maxLocalHopsPerGroup {
-		return // a redirect hop would exceed the per-group budget
-	}
-	lvc := a.localVC(st)
-	for i := 0; i < a.cfg.RemoteCandidates; i++ {
-		tg := r.Intn(p.Groups)
-		if tg == g || tg == int(st.DstGroup) {
-			continue
-		}
-		if faulty && (v.RouteDown(g, tg) || v.RouteDown(tg, int(st.DstGroup))) {
-			continue // a detour leg is gone
-		}
-		owner := p.MinimalLocalTarget(router, tg)
-		if owner == idx {
-			continue // own channel, already considered above
-		}
-		if a.pair != nil && st.PrevRouter >= 0 {
-			prev := p.IndexInGroup(int(st.PrevRouter))
-			if !a.pair.AllowedHops(prev, idx, owner) {
-				continue // restricted 2-hop local combination
-			}
-		}
-		port := p.LocalPort(idx, owner)
-		if a.eligible(v, port, lvc, size, limit) {
-			a.cands = append(a.cands, candidate{Decision{
-				Port: port, VC: lvc, Kind: KindGlobalMis,
-				NewValiant: tg, LocalFinal: -1,
-			}})
-		}
-	}
-}
-
-// localCandidates collects local misroutes i -> k -> exitIdx. It returns
-// the number of detours passing every static filter (pair restriction and
-// link liveness), whether or not they were claimable this cycle: a positive
-// count means a candidate can still materialize, so the caller must wait
-// rather than drop.
-func (a *adaptive) localCandidates(v View, st *PacketState, idx, exitIdx, size int, limit float64) int {
-	p := a.cfg.Topo
-	faulty := v.Faulty()
-	structural := 0
-	var vcBuf [2]int
-	vcs := a.misrouteVCs(st, vcBuf[:0])
-	for k := 0; k < p.RoutersPerGroup; k++ {
-		if k == idx || k == exitIdx {
-			continue
-		}
-		if a.pair != nil && !a.pair.AllowedHops(idx, k, exitIdx) {
-			continue
-		}
-		if faulty && (v.LocalDown(idx, k) || v.LocalDown(k, exitIdx)) {
-			continue // the detour hop or its forced exit is gone
-		}
-		structural++
-		port := p.LocalPort(idx, k)
-		for _, vc := range vcs {
-			if a.eligible(v, port, vc, size, limit) {
-				a.cands = append(a.cands, candidate{Decision{
-					Port: port, VC: vc, Kind: KindLocalMis,
-					NewValiant: -1, LocalFinal: exitIdx,
-				}})
-				break
-			}
-		}
-	}
-	return structural
+	occ, claim := v.OccClaim(port, vc, size)
+	return a.fracAt(v, port, vc, occ) < limit && claim
 }

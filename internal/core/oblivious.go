@@ -21,39 +21,22 @@ import "repro/internal/rng"
 type oblivious struct {
 	cfg  Config
 	spec Spec
+	tab  *Tables
 }
 
-func (o *oblivious) Name() string      { return o.spec.String() }
-func (o *oblivious) Spec() Spec        { return o.spec }
-func (o *oblivious) LocalVCs() int     { return 3 }
-func (o *oblivious) GlobalVCs() int    { return 2 }
-func (o *oblivious) RequiresVCT() bool { return false }
+func (o *oblivious) Name() string          { return o.spec.String() }
+func (o *oblivious) Spec() Spec            { return o.spec }
+func (o *oblivious) LocalVCs() int         { return 3 }
+func (o *oblivious) GlobalVCs() int        { return 2 }
+func (o *oblivious) RequiresVCT() bool     { return false }
+func (o *oblivious) UsesHeadArrival() bool { return false }
 
-// Route implements Algorithm.
+// Route implements Algorithm as one-shot build-plus-replay; see BuildPlan
+// and RoutePlanned in plan.go for the decision procedure.
 func (o *oblivious) Route(v View, st *PacketState, router, size int, r *rng.PCG) Decision {
-	if !st.InjDecided && int32(router) == st.SrcRouter {
-		o.decideInjection(v, st, router, r)
-	}
-	port, global, _ := minimalNext(o.cfg.Topo, st, router)
-	vc := int(st.GlobalHops) // local hop after g globals uses lVC_{g+1}
-	_ = global
-	if v.Faulty() {
-		// None of the three adapts in transit: a failed link on the
-		// (already fixed) route leaves the packet unroutable. Dead group
-		// channels are detected anywhere in the group, so doomed packets
-		// drop before clogging the path to the channel owner.
-		g := o.cfg.Topo.GroupOf(router)
-		if tg := st.targetGroup(); g != tg && v.RouteDown(g, tg) {
-			return dropDecision
-		}
-		if v.LinkDown(port) {
-			return dropDecision
-		}
-	}
-	if !v.CanClaim(port, vc, size) {
-		return waitDecision
-	}
-	return Decision{Port: port, VC: vc, Kind: KindMin, NewValiant: -1, LocalFinal: -1}
+	var p Plan
+	o.BuildPlan(v, st, router, size, r, &p)
+	return o.RoutePlanned(v, &p, size, r)
 }
 
 // decideInjection makes the once-per-packet source-routing choice.
@@ -78,13 +61,13 @@ func (o *oblivious) decideInjection(v View, st *PacketState, router int, r *rng.
 // attempt budget it returns a dead draw, and the packet drops at the dead
 // leg like any other unroutable packet.
 func (o *oblivious) pickValiantGroup(v View, st *PacketState, r *rng.PCG) int {
-	p := o.cfg.Topo
+	groups := o.tab.groups
 	sg := int(st.CurGroup)
 	dg := int(st.DstGroup)
 	faulty := v.Faulty()
 	fallback := -1
-	for i := 0; i < 4*p.Groups || fallback < 0; i++ {
-		g := r.Intn(p.Groups)
+	for i := 0; i < 4*groups || fallback < 0; i++ {
+		g := r.Intn(groups)
 		if g == sg || g == dg {
 			continue
 		}
@@ -105,20 +88,20 @@ func (o *oblivious) pickValiantGroup(v View, st *PacketState, r *rng.PCG) int {
 // chosen, commits the intermediate group into st. It reports whether the
 // packet was diverted.
 func (o *oblivious) pbWantsValiant(v View, st *PacketState, router int, r *rng.PCG) bool {
-	p := o.cfg.Topo
-	g := p.GroupOf(router)
+	t := o.tab
+	g := t.rt.GroupOf(router)
 	if int(st.DstGroup) != g {
 		// Remote destination: divert when the minimal global channel
 		// is congested (a failed channel counts as congested — the
 		// recomputed tables know it is gone) and the sampled Valiant
 		// channel is not.
-		kMin := p.ChannelToGroup(g, int(st.DstGroup))
+		kMin := t.rt.GroupOffset(g, int(st.DstGroup)) - 1
 		minDead := v.Faulty() && v.RouteDown(g, int(st.DstGroup))
 		if !v.GlobalCongested(kMin) && !minDead {
 			return false
 		}
 		vg := o.pickValiantGroup(v, st, r)
-		if v.GlobalCongested(p.ChannelToGroup(g, vg)) {
+		if v.GlobalCongested(t.rt.GroupOffset(g, vg) - 1) {
 			return false
 		}
 		st.ValiantGroup = int32(vg)
@@ -130,9 +113,9 @@ func (o *oblivious) pbWantsValiant(v View, st *PacketState, router int, r *rng.P
 	// is the bottleneck — so the signal is the source queue backlog,
 	// with the direct port's downstream occupancy as a secondary cue.
 	if int32(router) != st.DstRouter {
-		idx := p.IndexInGroup(router)
-		dIdx := p.IndexInGroup(int(st.DstRouter))
-		port := p.LocalPort(idx, dIdx)
+		idx := t.rt.IndexOf(router)
+		dIdx := int(st.DstIdx)
+		port := t.rt.LocalPortTo(idx, dIdx)
 		qOcc, qCap := v.CurrentQueue()
 		backlog := qCap > 0 && float64(qOcc) >= o.cfg.PBThreshold*float64(qCap)
 		occ, cap := v.Occupancy(port, 0), v.Capacity(port, 0)
@@ -141,7 +124,7 @@ func (o *oblivious) pbWantsValiant(v View, st *PacketState, router int, r *rng.P
 			return false
 		}
 		vg := o.pickValiantGroup(v, st, r)
-		if v.GlobalCongested(p.ChannelToGroup(g, vg)) {
+		if v.GlobalCongested(t.rt.GroupOffset(g, vg) - 1) {
 			return false
 		}
 		st.ValiantGroup = int32(vg)

@@ -39,8 +39,8 @@ type ofar struct {
 	adaptive
 }
 
-func newOFAR(cfg Config) *ofar {
-	o := &ofar{adaptive: *newAdaptive(OFAR, cfg, nil)}
+func newOFAR(tab *Tables) *ofar {
+	o := &ofar{adaptive: *newAdaptive(OFAR, tab)}
 	return o
 }
 
@@ -50,47 +50,14 @@ func (o *ofar) LocalVCs() int     { return 3 }
 func (o *ofar) GlobalVCs() int    { return 2 }
 func (o *ofar) RequiresVCT() bool { return true }
 
-// Route tries the adaptive network first (minimal, then the misrouting
-// trigger) and falls back to the escape ring under bubble flow control.
+// Route implements Algorithm as one-shot build-plus-replay: the adaptive
+// network first (minimal, then the misrouting trigger), then the escape
+// ring under bubble flow control; see BuildPlan and RoutePlanned in
+// plan.go for the procedure.
 func (o *ofar) Route(v View, st *PacketState, router, size int, r *rng.PCG) Decision {
-	dec := o.adaptive.Route(v, st, router, size, r)
-	if !dec.Wait && !dec.Drop {
-		return dec
-	}
-	// Adaptive network blocked (or, under faults, out of surviving
-	// adaptive routes): try the ring edge — the ring visits every router,
-	// so a live ring can still deliver a packet whose adaptive paths are
-	// all dead. Ring hops are store-and-forward: the whole packet must be
-	// buffered here first, both for the bubble argument and so a packet
-	// circling the ring can never catch its own tail.
-	adaptiveDead := dec.Drop
-	if !v.HeadFullyArrived() {
-		return waitDecision
-	}
-	p := o.cfg.Topo
-	next, port := RingNext(p, router)
-	_ = next
-	if v.Faulty() && v.LinkDown(port) {
-		// The ring is severed here; with the adaptive routes dead too,
-		// the packet has no surviving way out.
-		if adaptiveDead {
-			return dropDecision
-		}
-		return waitDecision
-	}
-	vc := ofarEscapeLocalVC
-	if p.IsGlobalPort(port) {
-		vc = ofarEscapeGlobalVC
-	}
-	if !v.CanClaim(port, vc, size) {
-		return waitDecision
-	}
-	// Bubble condition: entering the ring requires space for two
-	// packets downstream; continuing along it requires one.
-	if !st.OnEscape && !v.CanStart(port, vc, 2*size) {
-		return waitDecision
-	}
-	return Decision{Port: port, VC: vc, Kind: KindEscape, NewValiant: -1, LocalFinal: -1}
+	var p Plan
+	o.BuildPlan(v, st, router, size, r, &p)
+	return o.RoutePlanned(v, &p, size, r)
 }
 
 // RingNext returns the successor of router on the escape Hamiltonian ring

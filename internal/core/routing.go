@@ -57,13 +57,22 @@ func (s Spec) String() string {
 	return fmt.Sprintf("Spec(%d)", int(s))
 }
 
+// specByName maps mechanism names back to their Spec. Built once at
+// package init: ParseSpec sits on the campaign and CLI parse paths, where
+// the old per-call loop rebuilt every name string each time.
+var specByName = func() map[string]Spec {
+	m := make(map[string]Spec, int(OFAR)+1)
+	for s := Minimal; s <= OFAR; s++ {
+		m[s.String()] = s
+	}
+	return m
+}()
+
 // ParseSpec converts a mechanism name (as printed by String, case
 // sensitive) back to its Spec.
 func ParseSpec(name string) (Spec, error) {
-	for s := Minimal; s <= OFAR; s++ {
-		if s.String() == name {
-			return s, nil
-		}
+	if s, ok := specByName[name]; ok {
+		return s, nil
 	}
 	return 0, fmt.Errorf("core: unknown mechanism %q", name)
 }
@@ -106,8 +115,19 @@ type View interface {
 	// Occupancy returns the downstream buffer occupancy, in phits, of
 	// output port/vc (capacity minus credits).
 	Occupancy(port, vc int) int
-	// Capacity returns the downstream buffer capacity, in phits.
+	// Capacity returns the downstream buffer capacity, in phits. It must
+	// be constant for the lifetime of the view and identical across the
+	// VCs of one port (true of any real router; the adaptive mechanisms
+	// cache per-port occupancy-fraction tables keyed on it).
 	Capacity(port, vc int) int
+	// MinState bundles the minimal-output queries of one trigger
+	// evaluation — Occupancy, CanClaim and CanStart of (port, vc) — into
+	// a single call, so the hot path pays one interface dispatch instead
+	// of three. The three results must equal the individual queries'.
+	MinState(port, vc, size int) (occ int, claim, start bool)
+	// OccClaim bundles Occupancy and CanClaim for one misroute-candidate
+	// eligibility check.
+	OccClaim(port, vc, size int) (occ int, claim bool)
 	// GlobalCongested reports the Piggybacking congestion bit of global
 	// channel k of this router's group, as published last cycle.
 	GlobalCongested(k int) bool
@@ -184,6 +204,8 @@ type PacketState struct {
 	SrcRouter int32
 	DstRouter int32
 	DstGroup  int32
+	DstIdx    int32 // destination router's index within its group
+	DstEject  int32 // ejection output port of Dst at DstRouter
 
 	CurGroup     int32 // group of the router currently holding the head
 	ValiantGroup int32 // committed intermediate group; -1 when none/done
@@ -215,6 +237,8 @@ func (st *PacketState) Init(p *topology.P, src, dst int) {
 		PrevRouter:   -1,
 	}
 	st.DstGroup = int32(p.GroupOf(int(st.DstRouter)))
+	st.DstIdx = int32(p.IndexInGroup(int(st.DstRouter)))
+	st.DstEject = int32(p.EjectPortOfNode(dst))
 	st.CurGroup = int32(p.GroupOf(int(st.SrcRouter)))
 }
 
@@ -240,47 +264,41 @@ type Algorithm interface {
 	// RequiresVCT reports whether the mechanism is only deadlock-free
 	// under virtual cut-through flow control (true for OLM).
 	RequiresVCT() bool
+	// UsesHeadArrival reports whether the decision paths consult
+	// View.HeadFullyArrived (true for OFAR's store-and-forward escape
+	// ring). Callers that cache view state across retries must refresh
+	// the head-arrival bit every evaluation when this is set.
+	UsesHeadArrival() bool
 	// Route evaluates the head packet of size phits sitting at router.
 	// It may be called repeatedly (every cycle) until the returned
 	// decision is claimed; it must not mutate st in ways that are not
 	// idempotent, except for the injection-time choices guarded by
-	// st.InjDecided.
+	// st.InjDecided. Every implementation is BuildPlan followed by
+	// RoutePlanned over a throwaway plan; callers that re-evaluate the
+	// same head every cycle (the engine) keep the plan and replay it.
 	Route(v View, st *PacketState, router, size int, r *rng.PCG) Decision
+	// BuildPlan computes the static geometry of the head's decision into
+	// p: minimal output, misroute arming, candidate lists with the pair
+	// restriction and the current fault view applied, and the
+	// injection-time choices (which may draw from r). Valid until the
+	// head changes or the fault view is recomputed.
+	BuildPlan(v View, st *PacketState, router, size int, r *rng.PCG, p *Plan)
+	// RoutePlanned replays a built plan against the current cycle's
+	// dynamic state: claimability, the credit-based misrouting trigger
+	// and the random candidate draws. It never reads the PacketState.
+	RoutePlanned(v View, p *Plan, size int, r *rng.PCG) Decision
 }
 
-// New creates a per-router instance of the requested mechanism.
+// New creates a per-router instance of the requested mechanism with its
+// own private table set. Callers instantiating many routers should build
+// the tables once with NewTables and derive instances via
+// Tables.NewAlgorithm instead (the engine does).
 func New(spec Spec, cfg Config) (Algorithm, error) {
-	if cfg.Topo == nil {
-		return nil, fmt.Errorf("core: nil topology")
+	t, err := NewTables(spec, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Threshold <= 0 {
-		cfg.Threshold = 0.45
-	}
-	if cfg.PBThreshold <= 0 {
-		cfg.PBThreshold = 0.35
-	}
-	if cfg.RemoteCandidates < 0 {
-		cfg.RemoteCandidates = 0
-	}
-	switch spec {
-	case Minimal:
-		return &oblivious{cfg: cfg, spec: Minimal}, nil
-	case Valiant:
-		return &oblivious{cfg: cfg, spec: Valiant}, nil
-	case PB:
-		return &oblivious{cfg: cfg, spec: PB}, nil
-	case PAR62:
-		return newAdaptive(PAR62, cfg, nil), nil
-	case RLM:
-		return newAdaptive(RLM, cfg, NewParityTable()), nil
-	case RLMSignOnly:
-		return newAdaptive(RLMSignOnly, cfg, NewSignOnlyTable()), nil
-	case OLM:
-		return newAdaptive(OLM, cfg, nil), nil
-	case OFAR:
-		return newOFAR(cfg), nil
-	}
-	return nil, fmt.Errorf("core: unknown spec %d", spec)
+	return t.NewAlgorithm(), nil
 }
 
 // VCsFor returns the local and global VC counts mechanism spec needs,
@@ -343,7 +361,10 @@ func CommitHop(p *topology.P, st *PacketState, router int, dec Decision) {
 
 // minimalNext computes the minimal next hop of st at router: the output
 // port, whether it is a global hop, and — for local hops — the in-group
-// exit router index the hop heads to.
+// exit router index the hop heads to. It recomputes from topology
+// arithmetic every call; the hot paths use the precomputed
+// Tables.minimalHop instead, and TestMinimalHopMatchesRecompute pins the two
+// to each other.
 func minimalNext(p *topology.P, st *PacketState, router int) (port int, global bool, exitIdx int) {
 	idx := p.IndexInGroup(router)
 	g := p.GroupOf(router)

@@ -45,6 +45,12 @@ func (f *fakeView) CanStart(port, vc, size int) bool {
 	return f.capacity-f.occupancy[[2]int{port, vc}] >= size
 }
 func (f *fakeView) Occupancy(port, vc int) int { return f.occupancy[[2]int{port, vc}] }
+func (f *fakeView) MinState(port, vc, size int) (int, bool, bool) {
+	return f.Occupancy(port, vc), f.CanClaim(port, vc, size), f.CanStart(port, vc, size)
+}
+func (f *fakeView) OccClaim(port, vc, size int) (int, bool) {
+	return f.Occupancy(port, vc), f.CanClaim(port, vc, size)
+}
 func (f *fakeView) CurrentQueue() (int, int)   { return f.queueOcc, f.queueCap }
 func (f *fakeView) HeadFullyArrived() bool     { return !f.headPartial }
 func (f *fakeView) Capacity(port, vc int) int  { return f.capacity }

@@ -21,17 +21,29 @@ type vcBuffer struct {
 	entries []fifoEntry // ring
 	head    int
 	count   int
+	tail    int // ring index of the newest entry; meaningless when count == 0
+
+	// headSeq counts head-entry changes: it increments whenever the head
+	// entry is popped, so the router's cached routing plan for this
+	// buffer (keyed on the sequence number) is rebuilt exactly when a
+	// new packet reaches the front.
+	headSeq int64
 
 	claimed bool // the head entry holds an output-VC transfer
 }
 
-// initBuffer sizes the ring for fixed-size packets: at most
+// ringEntries returns the ring size for fixed-size packets: at most
 // capacity/packet + 2 entries can coexist (full packets plus one streaming
 // in and one streaming out).
-func (b *vcBuffer) init(capacityPhits, packetPhits int) {
+func ringEntries(capacityPhits, packetPhits int) int {
+	return capacityPhits/packetPhits + 3
+}
+
+// init sizes the buffer over the given entry ring (see ringEntries); the
+// rings of all of a router's buffers share one backing array.
+func (b *vcBuffer) init(capacityPhits int, entries []fifoEntry) {
 	b.capacity = int32(capacityPhits)
-	n := capacityPhits/packetPhits + 3
-	b.entries = make([]fifoEntry, n)
+	b.entries = entries
 	b.head = 0
 	b.count = 0
 }
@@ -45,14 +57,6 @@ func (b *vcBuffer) headEntry() *fifoEntry {
 		panic("engine: headEntry on empty vcBuffer")
 	}
 	return &b.entries[b.head]
-}
-
-// tailEntry returns the newest entry, or nil when empty.
-func (b *vcBuffer) tailEntry() *fifoEntry {
-	if b.count == 0 {
-		return nil
-	}
-	return &b.entries[b.wrap(b.head+b.count-1)]
 }
 
 // wrap reduces a ring index in [0, 2*len) into [0, len); cheaper than a
@@ -72,16 +76,20 @@ func (b *vcBuffer) wrap(i int) int {
 // whether a new entry was opened, so the router can maintain its
 // buffered-entry activity count.
 func (b *vcBuffer) pushPhit(pkt *Packet) (newEntry bool) {
-	if t := b.tailEntry(); t != nil && t.pkt == pkt && t.arrived < pkt.Size {
-		t.arrived++
-		b.used++
-		return false
+	if b.count > 0 {
+		if t := &b.entries[b.tail]; t.pkt == pkt && t.arrived < pkt.Size {
+			t.arrived++
+			b.used++
+			return false
+		}
 	}
 	if b.count == len(b.entries) {
 		panic(fmt.Sprintf("engine: vcBuffer ring overflow (cap %d phits, %d entries)",
 			b.capacity, b.count))
 	}
-	b.entries[b.wrap(b.head+b.count)] = fifoEntry{pkt: pkt, arrived: 1}
+	i := b.wrap(b.head + b.count)
+	b.entries[i] = fifoEntry{pkt: pkt, arrived: 1}
+	b.tail = i
 	b.count++
 	b.used++
 	return true
@@ -93,7 +101,9 @@ func (b *vcBuffer) pushWholePacket(pkt *Packet) {
 	if b.count == len(b.entries) || b.used+pkt.Size > b.capacity {
 		panic("engine: pushWholePacket without space")
 	}
-	b.entries[b.wrap(b.head+b.count)] = fifoEntry{pkt: pkt, arrived: pkt.Size}
+	i := b.wrap(b.head + b.count)
+	b.entries[i] = fifoEntry{pkt: pkt, arrived: pkt.Size}
+	b.tail = i
 	b.count++
 	b.used += pkt.Size
 }
@@ -119,6 +129,7 @@ func (b *vcBuffer) takePhit() (pkt *Packet, tail bool) {
 		b.head = b.wrap(b.head + 1)
 		b.count--
 		b.claimed = false
+		b.headSeq++
 		return pkt, true
 	}
 	return pkt, false

@@ -93,6 +93,19 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 			cfg.Process = proc
 			return faultedDeterminismConfig(t, cfg)
 		}},
+		{"VCT/OLM/faulted/stale", func(t *testing.T) Config {
+			// Stale link state: the routing view lags the kill/repair
+			// events, so the delayed table recomputations (and the epoch
+			// bumps invalidating cached head plans) cross worker shards.
+			cfg := faultedDeterminismConfig(t, testConfig(t, 2, core.OLM, 0.3))
+			cfg.StaleCycles = 350
+			return cfg
+		}},
+		{"VCT/Minimal/faulted/stale", func(t *testing.T) Config {
+			cfg := faultedDeterminismConfig(t, testConfig(t, 2, core.Minimal, 0.25))
+			cfg.StaleCycles = 500
+			return cfg
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -82,6 +82,17 @@ type Config struct {
 	Faults      *topology.FaultSet
 	FaultEvents []FaultEvent
 
+	// StaleCycles delays the *routing view* of every fault event by this
+	// many cycles: a link killed (or repaired) at cycle C changes flow
+	// control immediately, but the routing-view tables the mechanisms
+	// consult (LinkDown/RouteDown/LocalDown) are only recomputed at cycle
+	// C+StaleCycles — modeling a fabric manager that needs time to detect
+	// the event, broadcast it, and recompute routing tables. Zero (the
+	// default) recomputes in the same serial section the event applies
+	// in, which is bit-identical to instantaneous link-state knowledge.
+	// Initial faults are always known at boot and never stale.
+	StaleCycles int64
+
 	Warmup  int64 // steady-state: cycles before measurement starts
 	Measure int64 // steady-state: measured cycles
 
@@ -145,6 +156,9 @@ func (c *Config) validate() error {
 		return fmt.Errorf("engine: fault set describes a %d-router topology, network has %d",
 			c.Faults.Topology().Routers, c.Topo.Routers)
 	}
+	if c.StaleCycles < 0 {
+		return fmt.Errorf("engine: negative StaleCycles %d", c.StaleCycles)
+	}
 	prevAt := int64(0)
 	for i, ev := range c.FaultEvents {
 		if ev.At < prevAt {
@@ -192,6 +206,7 @@ type progress struct {
 type Sim struct {
 	cfg      Config
 	topo     *topology.P
+	tab      *core.Tables // routing tables shared by every router's Algorithm
 	routers  []router
 	workload *traffic.Workload
 
@@ -209,6 +224,25 @@ type Sim struct {
 	faults    *topology.FaultSet
 	faulted   bool
 	nextFault int // index of the first unapplied Config.FaultEvents entry
+
+	// Routing-view fault tables: the link state the routing mechanisms
+	// see, recomputed incrementally in the serial section when (possibly
+	// stale) fault events apply. routeDown is the global-channel matrix,
+	// flattened [Groups x Groups]; localDown is the per-group local-link
+	// matrix, flattened [Groups x RPG x RPG]; per-router port masks live
+	// in router.routeDead. With Config.StaleCycles == 0 the view tracks
+	// the physical state exactly (updated in the same serial section), so
+	// results are bit-identical to instantaneous link-state knowledge.
+	routeDown      []bool
+	localDown      []bool
+	nextRouteFault int // first Config.FaultEvents entry the view has not absorbed
+
+	// routeEpoch numbers the routing-view recomputations: it bumps
+	// whenever fault events change the view, invalidating every router's
+	// cached head plans (which bake the fault view into their candidate
+	// geometry). Fault-free runs keep epoch 1 forever, so plans live
+	// until their head packet moves on.
+	routeEpoch uint64
 
 	cycle int64
 	ran   bool
@@ -237,10 +271,14 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Routing.PBThreshold <= 0 {
 		cfg.Routing.PBThreshold = 0.35
 	}
-	probe, err := core.New(cfg.Spec, cfg.Routing)
+	// One shared table set per simulation: minimal next-hop rows, the
+	// global-port matrix and the pair-restricted detour candidate lists
+	// are computed here once and consulted read-only by every router.
+	tab, err := core.NewTables(cfg.Spec, cfg.Routing)
 	if err != nil {
 		return nil, err
 	}
+	probe := tab.NewAlgorithm()
 	if probe.RequiresVCT() && cfg.Flow != VCT {
 		return nil, fmt.Errorf("engine: %s requires VCT flow control", probe.Name())
 	}
@@ -260,13 +298,15 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 	s := &Sim{
-		cfg:       cfg,
-		topo:      p,
-		workload:  w,
-		pbEnabled: cfg.Spec == core.PB,
-		routers:   make([]router, p.Routers),
-		sheets:    make([]metrics.Sheet, cfg.Workers),
-		progress:  make([]progress, cfg.Workers),
+		cfg:        cfg,
+		topo:       p,
+		tab:        tab,
+		workload:   w,
+		pbEnabled:  cfg.Spec == core.PB,
+		routers:    make([]router, p.Routers),
+		sheets:     make([]metrics.Sheet, cfg.Workers),
+		progress:   make([]progress, cfg.Workers),
+		routeEpoch: 1, // zero-valued plans are invalid by construction
 	}
 	if cfg.Faults != nil || len(cfg.FaultEvents) > 0 {
 		s.faulted = true
@@ -297,14 +337,12 @@ func New(cfg Config) (*Sim, error) {
 	for id := range s.routers {
 		r := &s.routers[id]
 		r.id = id
+		r.group = int32(p.GroupOf(id))
 		r.eng = s
 		r.flow = cfg.Flow
 		r.sheet = &s.sheets[0]
 		r.prog = &s.progress[0]
-		r.alg, err = core.New(cfg.Spec, cfg.Routing)
-		if err != nil {
-			return nil, err
-		}
+		r.alg = tab.NewAlgorithm()
 		r.routeRand = rng.New(cfg.Seed, uint64(id)*2+1)
 		r.nodeRand = make([]*rng.PCG, p.H)
 		for k := range r.nodeRand {
@@ -317,9 +355,36 @@ func New(cfg Config) (*Sim, error) {
 		// hold for faulted runs. Fault-free runs never claim it.
 		r.in = make([]inPort, p.Ports)
 		r.out = make([]outPort, p.Ports+1)
-		r.portSent = make([]bool, p.Ports+1)
-		r.inputUsed = make([]bool, p.Ports)
-		r.out[p.Ports].transfers = make([]transfer, 1)
+		r.pktSize = cfg.PacketPhits
+		r.needHeadFull = probe.UsesHeadArrival()
+		// Router-wide backing arrays for all ports' credit counters,
+		// transfer slots, input VC buffers, ring entries and head plans:
+		// the claim and streaming paths then walk contiguous memory
+		// instead of one allocation per port.
+		linkVCs := p.LocalPorts*localVCs + p.GlobalPorts*globalVCs
+		inVCs := linkVCs + p.H
+		injCap := cfg.InjQueuePackets * cfg.PacketPhits
+		totalEnts := p.LocalPorts*localVCs*ringEntries(cfg.BufLocal, cfg.PacketPhits) +
+			p.GlobalPorts*globalVCs*ringEntries(cfg.BufGlobal, cfg.PacketPhits) +
+			p.H*ringEntries(injCap, cfg.PacketPhits)
+		creditsAll := make([]int32, linkVCs)
+		transfersAll := make([]transfer, linkVCs+p.H+1)
+		vcsAll := make([]vcBuffer, inVCs)
+		entsAll := make([]fifoEntry, totalEnts)
+		r.plans = make([]core.Plan, inVCs)
+		r.planOff = make([]int32, p.Ports)
+		r.out[p.Ports].transfers = transfersAll[len(transfersAll)-1:]
+		vcOff, entOff := 0, 0
+		takeVCs := func(n, capPhits int) []vcBuffer {
+			vcs := vcsAll[vcOff : vcOff+n : vcOff+n]
+			vcOff += n
+			entN := ringEntries(capPhits, cfg.PacketPhits)
+			for i := range vcs {
+				vcs[i].init(capPhits, entsAll[entOff:entOff+entN:entOff+entN])
+				entOff += entN
+			}
+			return vcs
+		}
 		r.claimVCs = make([]uint16, p.Ports)
 		r.phaseCur = make([]int32, len(w.Jobs))
 		r.nodePhase = make([]nodePhase, p.H)
@@ -327,26 +392,25 @@ func New(cfg Config) (*Sim, error) {
 		if cfg.LatGlobal > maxLat {
 			maxLat = cfg.LatGlobal
 		}
-		r.arrivals = newArrivalSchedule(maxLat)
+		r.arrivals = newArrivalSchedule(maxLat, cfg.Workers <= 1)
+		off := 0
 		for port := 0; port < p.Ports; port++ {
+			r.planOff[port] = int32(vcOff)
 			switch {
 			case p.IsLocalPort(port):
-				r.in[port].vcs = make([]vcBuffer, localVCs)
-				for v := range r.in[port].vcs {
-					r.in[port].vcs[v].init(cfg.BufLocal, cfg.PacketPhits)
-				}
-				r.out[port] = makeOutPort(localVCs, cfg.BufLocal)
+				r.in[port].vcs = takeVCs(localVCs, cfg.BufLocal)
+				r.out[port] = makeOutPort(creditsAll[off:off+localVCs:off+localVCs],
+					transfersAll[off:off+localVCs:off+localVCs], cfg.BufLocal)
+				off += localVCs
 			case p.IsGlobalPort(port):
-				r.in[port].vcs = make([]vcBuffer, globalVCs)
-				for v := range r.in[port].vcs {
-					r.in[port].vcs[v].init(cfg.BufGlobal, cfg.PacketPhits)
-				}
-				r.out[port] = makeOutPort(globalVCs, cfg.BufGlobal)
+				r.in[port].vcs = takeVCs(globalVCs, cfg.BufGlobal)
+				r.out[port] = makeOutPort(creditsAll[off:off+globalVCs:off+globalVCs],
+					transfersAll[off:off+globalVCs:off+globalVCs], cfg.BufGlobal)
 				r.out[port].global = true
+				off += globalVCs
 			default: // injection (input) / ejection (output)
-				r.in[port].vcs = make([]vcBuffer, 1)
-				r.in[port].vcs[0].init(cfg.InjQueuePackets*cfg.PacketPhits, cfg.PacketPhits)
-				r.out[port].transfers = make([]transfer, 1)
+				r.in[port].vcs = takeVCs(1, injCap)
+				r.out[port].transfers = transfersAll[linkVCs+port-p.EjectPortBase():][:1:1]
 			}
 		}
 	}
@@ -366,32 +430,97 @@ func New(cfg Config) (*Sim, error) {
 			rr, rp := p.LinkTarget(id, port)
 			s.routers[rr].in[rp].link = l
 			l.phitSched = s.routers[rr].arrivals
+			l.phitPort = int16(rp)
 			l.creditSched = r.arrivals
+			l.creditPort = int16(port)
 		}
 	}
 	if s.faulted {
 		// Fold events already due at cycle 0 into the initial state, then
-		// mirror the masks into the routers.
+		// mirror the masks into the routers. Initial faults are known at
+		// boot: the routing-view tables start from the same state (no
+		// staleness applies), and the folded events are absorbed by the
+		// view too so the stale queue never replays them.
 		for s.nextFault < len(cfg.FaultEvents) && cfg.FaultEvents[s.nextFault].At <= 0 {
 			ev := cfg.FaultEvents[s.nextFault]
 			s.faults.SetLink(ev.Router, ev.Port, !ev.Repair)
 			s.nextFault++
 		}
+		s.nextRouteFault = s.nextFault
 		for id := range s.routers {
 			s.routers[id].deadPorts = s.faults.PortMask(id)
 		}
+		s.rebuildRouteView()
 	}
 	return s, nil
 }
 
-// applyFaultEvents applies every fault event due at the current cycle and
-// refreshes the endpoint routers' dead-port masks. Only called from the
-// serial section between cycles.
+// rebuildRouteView recomputes the routing-view fault tables from scratch
+// out of the current physical fault state: the full recomputation a fabric
+// manager performs at boot. Mid-run events use the incremental
+// applyRouteView instead.
+func (s *Sim) rebuildRouteView() {
+	p := s.topo
+	rpg := p.RoutersPerGroup
+	s.routeDown = make([]bool, p.Groups*p.Groups)
+	s.localDown = make([]bool, p.Groups*rpg*rpg)
+	for id := range s.routers {
+		mask := s.faults.PortMask(id)
+		s.routers[id].routeDead = mask
+		for port := 0; mask != 0; port++ {
+			if mask&(1<<uint(port)) == 0 {
+				continue
+			}
+			mask &^= 1 << uint(port)
+			s.applyRouteView(id, port, true)
+		}
+	}
+}
+
+// applyRouteView folds one link state change into the routing-view tables:
+// the two endpoint routers' port masks, and the global-channel or
+// local-link matrix entry for both directions of the full-duplex link.
+// This is the incremental table recomputation a fault broadcast triggers;
+// it runs only in the serial section between cycles.
+func (s *Sim) applyRouteView(router, port int, down bool) {
+	p := s.topo
+	rr, rp := p.LinkTarget(router, port)
+	bit, rbit := uint64(1)<<uint(port), uint64(1)<<uint(rp)
+	if down {
+		s.routers[router].routeDead |= bit
+		s.routers[rr].routeDead |= rbit
+	} else {
+		s.routers[router].routeDead &^= bit
+		s.routers[rr].routeDead &^= rbit
+	}
+	if p.IsGlobalPort(port) {
+		g, tg := p.GroupOf(router), p.GroupOf(rr)
+		s.routeDown[g*p.Groups+tg] = down
+		s.routeDown[tg*p.Groups+g] = down
+	} else {
+		rpg := p.RoutersPerGroup
+		g := p.GroupOf(router)
+		i, j := p.IndexInGroup(router), p.IndexInGroup(rr)
+		s.localDown[(g*rpg+i)*rpg+j] = down
+		s.localDown[(g*rpg+j)*rpg+i] = down
+	}
+}
+
+// pendingFaultEvents reports whether any fault event still awaits either
+// its physical application or its (possibly stale) routing-view one.
+func (s *Sim) pendingFaultEvents() bool {
+	return s.nextFault < len(s.cfg.FaultEvents) || s.nextRouteFault < len(s.cfg.FaultEvents)
+}
+
+// applyFaultEvents applies every fault event due at the current cycle —
+// physically (dead-port masks gating flow control) at event time, and to
+// the routing-view tables StaleCycles later. Only called from the serial
+// section between cycles.
 func (s *Sim) applyFaultEvents() {
 	for s.nextFault < len(s.cfg.FaultEvents) {
 		ev := s.cfg.FaultEvents[s.nextFault]
 		if ev.At > s.cycle {
-			return
+			break
 		}
 		s.faults.SetLink(ev.Router, ev.Port, !ev.Repair)
 		s.routers[ev.Router].deadPorts = s.faults.PortMask(ev.Router)
@@ -399,12 +528,27 @@ func (s *Sim) applyFaultEvents() {
 		s.routers[rr].deadPorts = s.faults.PortMask(rr)
 		s.nextFault++
 	}
+	viewChanged := false
+	for s.nextRouteFault < len(s.cfg.FaultEvents) {
+		ev := s.cfg.FaultEvents[s.nextRouteFault]
+		if ev.At+s.cfg.StaleCycles > s.cycle {
+			break
+		}
+		s.applyRouteView(ev.Router, ev.Port, !ev.Repair)
+		s.nextRouteFault++
+		viewChanged = true
+	}
+	if viewChanged {
+		// The routing tables changed: every cached head plan baked the
+		// old view into its candidate geometry, so force rebuilds.
+		s.routeEpoch++
+	}
 }
 
-func makeOutPort(vcs, capacity int) outPort {
+func makeOutPort(credits []int32, transfers []transfer, capacity int) outPort {
 	op := outPort{
-		credits:   make([]int32, vcs),
-		transfers: make([]transfer, vcs),
+		credits:   credits,
+		transfers: transfers,
 		capacity:  int32(capacity),
 	}
 	for v := range op.credits {
@@ -428,7 +572,7 @@ func (s *Sim) finishCycle() {
 		s.pbPublished, s.pbNext = s.pbNext, s.pbPublished
 	}
 	s.cycle++
-	if s.nextFault < len(s.cfg.FaultEvents) {
+	if s.pendingFaultEvents() {
 		s.applyFaultEvents()
 	}
 }

@@ -256,14 +256,16 @@ func TestBurstDrains(t *testing.T) {
 // watchdog fires: every packet circles the source group's ring on one VC,
 // so wormhole packets larger than a buffer wedge into a credit cycle.
 type deadlockRing struct {
-	topo *topology.P
+	topo   *topology.P
+	router int // the router this instance was last planned at
 }
 
-func (d *deadlockRing) Name() string      { return "deadlock-ring" }
-func (d *deadlockRing) Spec() core.Spec   { return core.Spec(-1) }
-func (d *deadlockRing) LocalVCs() int     { return 1 }
-func (d *deadlockRing) GlobalVCs() int    { return 1 }
-func (d *deadlockRing) RequiresVCT() bool { return false }
+func (d *deadlockRing) Name() string          { return "deadlock-ring" }
+func (d *deadlockRing) Spec() core.Spec       { return core.Spec(-1) }
+func (d *deadlockRing) LocalVCs() int         { return 1 }
+func (d *deadlockRing) GlobalVCs() int        { return 1 }
+func (d *deadlockRing) RequiresVCT() bool     { return false }
+func (d *deadlockRing) UsesHeadArrival() bool { return false }
 
 func (d *deadlockRing) Route(v core.View, st *core.PacketState, router, size int, r *rng.PCG) core.Decision {
 	idx := d.topo.IndexInGroup(router)
@@ -273,6 +275,16 @@ func (d *deadlockRing) Route(v core.View, st *core.PacketState, router, size int
 		return core.Decision{Wait: true}
 	}
 	return core.Decision{Port: port, VC: 0, Kind: core.KindMin, NewValiant: -1, LocalFinal: -1}
+}
+
+// BuildPlan/RoutePlanned satisfy core.Algorithm: one instance serves one
+// router, so remembering the router at build time is enough state.
+func (d *deadlockRing) BuildPlan(v core.View, st *core.PacketState, router, size int, r *rng.PCG, p *core.Plan) {
+	d.router = router
+}
+
+func (d *deadlockRing) RoutePlanned(v core.View, p *core.Plan, size int, r *rng.PCG) core.Decision {
+	return d.Route(v, nil, d.router, size, r)
 }
 
 func TestWatchdogDetectsDeadlock(t *testing.T) {

@@ -25,40 +25,86 @@ type link struct {
 
 	phitSched   *arrivalSchedule // schedule of the phit receiver
 	creditSched *arrivalSchedule // schedule of the credit receiver (the sender router)
+	phitPort    int16            // the receiver input port this link feeds
+	creditPort  int16            // the sender output port its credits return to
 }
 
-// arrivalSchedule counts, per cycle, how many phits and credits will
-// arrive at one router. Senders increment the slot of the arrival cycle
-// at send time; the receiver drains its current slot once per cycle.
+// arrivalSchedule records, per cycle, *which ports* of one router receive
+// a phit or a credit. Senders OR their port's bit into the slot of the
+// arrival cycle at send time; the receiver drains its current slot once
+// per cycle and walks only the set bits — the empty links of the port
+// scan the masks replace are never touched. One bit per port suffices: a
+// link delivers at most one phit and one credit per cycle, and bit order
+// reproduces the ascending-port order of the scan, so absorption order —
+// and therefore results — are identical.
+//
 // A slot for cycle c is only ever written during cycles < c (latency is
 // at least 1) and only read at cycle c, so with the ring covering the
-// maximum latency plus two, concurrent accesses can only be increments
-// by different senders — which is why a plain atomic counter per slot
+// maximum latency plus two, concurrent accesses can only be ORs by
+// different senders — which is why a pair of plain atomic masks per slot
 // suffices.
 type arrivalSchedule struct {
-	slots []atomic.Int32
+	slots []arrivalSlot
 	mask  int64
+	// serial marks single-worker simulations: every send and drain runs
+	// on one goroutine, so the mask updates skip the LOCKed read-modify-
+	// write instructions. Multi-worker runs use the atomic ops; the cycle
+	// barrier provides the cross-cycle happens-before edges either way.
+	serial bool
 }
 
-func newArrivalSchedule(maxLatency int) *arrivalSchedule {
+// arrivalSlot is one cycle's arrival masks: input ports receiving a phit
+// and output ports receiving a credit. Accessed through sync/atomic in
+// parallel runs, plainly in serial ones.
+type arrivalSlot struct {
+	phits   uint64
+	credits uint64
+}
+
+func newArrivalSchedule(maxLatency int, serial bool) *arrivalSchedule {
 	n := 1
 	for n < maxLatency+2 {
 		n <<= 1
 	}
-	return &arrivalSchedule{slots: make([]atomic.Int32, n), mask: int64(n - 1)}
+	return &arrivalSchedule{slots: make([]arrivalSlot, n), mask: int64(n - 1), serial: serial}
 }
 
-// add records one arrival at the given cycle.
-func (s *arrivalSchedule) add(cycle int64) { s.slots[cycle&s.mask].Add(1) }
-
-// take drains and returns the arrival count for the given cycle.
-func (s *arrivalSchedule) take(cycle int64) int32 {
+// addPhit records a phit arriving at the given input port and cycle.
+func (s *arrivalSchedule) addPhit(cycle int64, port int16) {
 	slot := &s.slots[cycle&s.mask]
-	n := slot.Load()
-	if n != 0 {
-		slot.Store(0)
+	if s.serial {
+		slot.phits |= 1 << uint(port)
+		return
 	}
-	return n
+	atomic.OrUint64(&slot.phits, 1<<uint(port))
+}
+
+// addCredit records a credit arriving at the given output port and cycle.
+func (s *arrivalSchedule) addCredit(cycle int64, port int16) {
+	slot := &s.slots[cycle&s.mask]
+	if s.serial {
+		slot.credits |= 1 << uint(port)
+		return
+	}
+	atomic.OrUint64(&slot.credits, 1<<uint(port))
+}
+
+// take drains and returns the arrival masks for the given cycle.
+func (s *arrivalSchedule) take(cycle int64) (phits, credits uint64) {
+	slot := &s.slots[cycle&s.mask]
+	if s.serial {
+		phits, credits = slot.phits, slot.credits
+		slot.phits, slot.credits = 0, 0
+		return phits, credits
+	}
+	phits, credits = atomic.LoadUint64(&slot.phits), atomic.LoadUint64(&slot.credits)
+	if phits != 0 {
+		atomic.StoreUint64(&slot.phits, 0)
+	}
+	if credits != 0 {
+		atomic.StoreUint64(&slot.credits, 0)
+	}
+	return phits, credits
 }
 
 // phitSlot carries one phit: the packet it belongs to and the virtual
@@ -100,7 +146,7 @@ func (l *link) sendPhit(now int64, pkt *Packet, vc int) {
 	s.pkt = pkt
 	s.vc = int8(vc)
 	if l.phitSched != nil {
-		l.phitSched.add(now + int64(l.latency))
+		l.phitSched.addPhit(now+int64(l.latency), l.phitPort)
 	}
 }
 
@@ -124,7 +170,7 @@ func (l *link) sendCredit(now int64, vc int) {
 	s.vc = int8(vc)
 	s.valid = true
 	if l.creditSched != nil {
-		l.creditSched.add(now + int64(l.latency))
+		l.creditSched.addCredit(now+int64(l.latency), l.creditPort)
 	}
 }
 

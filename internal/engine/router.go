@@ -21,12 +21,18 @@ type transfer struct {
 
 // outPort is one output of a router: the link it drives (nil for ejection
 // ports), the credit counters for the downstream buffers, and the per-VC
-// transfer slots.
+// transfer slots. The credits and transfers slices of all of a router's
+// ports share two router-wide backing arrays, so the claim and streaming
+// hot paths walk contiguous memory.
 type outPort struct {
 	link      *link
 	credits   []int32 // per VC; unused for ejection
 	capacity  int32   // downstream buffer capacity per VC (phits)
 	transfers []transfer
+	// activeVCs mirrors transfers[vc].active as a bitmask, so CanClaim's
+	// busy check costs one load from this struct instead of a pointer
+	// chase into the transfer slots.
+	activeVCs uint16
 	nActive   int8 // transfers currently active on this port
 	rr        int  // round-robin cursor over VCs
 	global    bool // link class, for statistics
@@ -51,9 +57,10 @@ type inPort struct {
 // skipping never changes results — serial and parallel runs, and runs with
 // or without the skip, all stay bit-identical.
 type router struct {
-	id  int
-	eng *Sim
-	alg core.Algorithm
+	id    int
+	group int32 // cached topology group of this router
+	eng   *Sim
+	alg   core.Algorithm
 
 	in  []inPort
 	out []outPort
@@ -93,8 +100,13 @@ type router struct {
 	// sync with the engine's FaultSet at cycle boundaries. Dead ports
 	// refuse new claims, but transfers already streaming across them
 	// finish (and their credits keep flowing): a kill takes effect for
-	// routing immediately and the committed traffic drains.
+	// flow control immediately and the committed traffic drains.
 	deadPorts uint64
+	// routeDead is the routing view of deadPorts: the mask the routing
+	// mechanisms consult through core.View.LinkDown. It lags deadPorts by
+	// Config.StaleCycles on every fault event (identical when zero),
+	// modeling stale fabric-manager link state.
+	routeDead uint64
 	// pbCooldown is the number of upcoming cycles that must still refresh
 	// this router's Piggybacking bits: credit state changes are published
 	// into a double-buffered table, so after the last change both buffers
@@ -112,9 +124,33 @@ type router struct {
 	nodePhase      []nodePhase
 	phaseRefreshAt int64
 
-	// per-cycle scratch
-	portSent  []bool // output port already transmitted this cycle
-	inputUsed []bool // input port already read this cycle
+	// per-cycle scratch: one bit per output/input port (the 63-port
+	// activity-mask limit guarantees the fault-drop sink's bit Topo.Ports
+	// still fits), cleared with two stores instead of two slice walks.
+	portSent  uint64 // output port already transmitted this cycle
+	inputUsed uint64 // input port already read this cycle
+
+	// rrCycle/rrVal memoize cycle % len(in) for the claim rotation, so
+	// consecutive active cycles derive the next offset with an add and a
+	// wrap instead of a 64-bit division. The value equals cycle % len(in)
+	// exactly, whatever cycles were skipped in between.
+	rrCycle int64
+	rrVal   int64
+
+	// plans caches, per input (port, VC), the static geometry of the
+	// buffered head's routing decision (see core.Plan): built when a new
+	// packet reaches the front, replayed every retry cycle without
+	// touching the packet, and invalidated by head changes
+	// (vcBuffer.headSeq) or routing-table recomputations (Sim.routeEpoch).
+	// Flat over the router's input VCs; planOff[port] is port's base.
+	plans   []core.Plan
+	planOff []int32
+	// pktSize caches Config.PacketPhits (every packet has this size) and
+	// needHeadFull whether the mechanism consults HeadFullyArrived (OFAR's
+	// store-and-forward ring) — the only case that must touch the head
+	// entry on every retry.
+	pktSize      int
+	needHeadFull bool
 
 	// curQueueOcc/Cap/HeadFull describe the input buffer of the packet
 	// currently being routed (set around each alg.Route call; see
@@ -130,11 +166,8 @@ type router struct {
 
 // view adapts the router to core.View during routing evaluation.
 func (r *router) CanClaim(port, vc, size int) bool {
-	if r.deadPorts&(1<<uint(port)) != 0 {
-		return false
-	}
 	op := &r.out[port]
-	if op.transfers[vc].active {
+	if (r.deadPorts>>uint(port))&1 != 0 || (op.activeVCs>>uint(vc))&1 != 0 {
 		return false
 	}
 	if op.link == nil {
@@ -164,6 +197,34 @@ func (r *router) Occupancy(port, vc int) int {
 	return int(op.capacity - op.credits[vc])
 }
 
+// MinState implements core.View: Occupancy, CanClaim and CanStart of one
+// output in a single dispatch — the port struct is read once.
+func (r *router) MinState(port, vc, size int) (occ int, claim, start bool) {
+	op := &r.out[port]
+	alive := (r.deadPorts>>uint(port))&1 == 0
+	if op.link == nil {
+		return 0, alive && (op.activeVCs>>uint(vc))&1 == 0, alive
+	}
+	c := op.credits[vc]
+	start = alive && c >= r.flow.claimNeed(int32(size))
+	claim = start && (op.activeVCs>>uint(vc))&1 == 0
+	return int(op.capacity - c), claim, start
+}
+
+// OccClaim implements core.View: Occupancy and CanClaim in one dispatch.
+func (r *router) OccClaim(port, vc, size int) (occ int, claim bool) {
+	op := &r.out[port]
+	claim = (r.deadPorts>>uint(port))&1 == 0 && (op.activeVCs>>uint(vc))&1 == 0
+	if op.link == nil {
+		return 0, claim
+	}
+	c := op.credits[vc]
+	if claim {
+		claim = c >= r.flow.claimNeed(int32(size))
+	}
+	return int(op.capacity - c), claim
+}
+
 // Capacity implements core.View.
 func (r *router) Capacity(port, vc int) int { return int(r.out[port].capacity) }
 
@@ -186,26 +247,30 @@ func (r *router) HeadFullyArrived() bool { return r.curHeadFull }
 // fault-free hot path stays exactly the pre-fault one.
 func (r *router) Faulty() bool { return r.eng.faulted }
 
-// LinkDown implements core.View.
-func (r *router) LinkDown(port int) bool { return r.deadPorts&(1<<uint(port)) != 0 }
+// LinkDown implements core.View: the routing view of this router's failed
+// output ports (stale by Config.StaleCycles after fault events).
+func (r *router) LinkDown(port int) bool { return r.routeDead&(1<<uint(port)) != 0 }
 
-// RouteDown implements core.View: the link-state view of the single global
-// channel from group g to group tg.
+// RouteDown implements core.View: the routing-view table of the single
+// global channel from group g to group tg — one indexed load into the
+// matrix the engine recomputes when (possibly stale) fault events apply.
 func (r *router) RouteDown(g, tg int) bool {
-	if r.eng.faults == nil {
+	e := r.eng
+	if e.routeDown == nil {
 		return false
 	}
-	return r.eng.faults.RouteDown(g, tg)
+	return e.routeDown[g*e.topo.Groups+tg]
 }
 
-// LocalDown implements core.View: the link-state view of the local link
+// LocalDown implements core.View: the routing-view table of the local link
 // between router indices i and j of this router's group.
 func (r *router) LocalDown(i, j int) bool {
 	e := r.eng
-	if e.faults == nil {
+	if e.localDown == nil {
 		return false
 	}
-	return e.faults.LocalRouteDown(e.topo.GroupOf(r.id), i, j)
+	rpg := e.topo.RoutersPerGroup
+	return e.localDown[(int(r.group)*rpg+i)*rpg+j]
 }
 
 // markClaimable records that input (port, vc) now has an unclaimed head.
@@ -227,8 +292,8 @@ func (r *router) unmarkClaimable(port, vc int) {
 
 // step advances the router by one cycle.
 func (r *router) step(cycle int64) {
-	if n := r.arrivals.take(cycle); n != 0 {
-		r.absorb(cycle, n)
+	if pm, cm := r.arrivals.take(cycle); pm|cm != 0 {
+		r.absorb(cycle, pm, cm)
 	}
 	// Injection must run every cycle regardless of activity — the traffic
 	// process consumes its per-node RNG streams unconditionally, and
@@ -252,49 +317,41 @@ func (r *router) step(cycle int64) {
 
 // clearScratch resets the per-cycle crossbar allocation flags.
 func (r *router) clearScratch() {
-	for i := range r.portSent {
-		r.portSent[i] = false
-	}
-	for i := range r.inputUsed {
-		r.inputUsed[i] = false
-	}
+	r.portSent = 0
+	r.inputUsed = 0
 }
 
 // absorb pulls arriving phits into input buffers and arriving credits into
-// output counters. expect is the arrival schedule's count for this cycle,
-// so the port scan can stop as soon as everything has been found.
-func (r *router) absorb(cycle int64, expect int32) {
-	var consumed int32
-	for i := range r.in {
+// output counters. phits and credits are the arrival schedule's port masks
+// for this cycle: only the ports that actually received something are
+// visited, in the same ascending-port order as the scan the masks replace.
+func (r *router) absorb(cycle int64, phits, credits uint64) {
+	for m := phits; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		ip := &r.in[i]
-		if ip.link == nil {
-			continue
+		pkt, vc := ip.link.recvPhit(cycle)
+		if pkt == nil {
+			panic(fmt.Sprintf("engine: phit arrival bit without a phit at router %d in port %d", r.id, i))
 		}
-		if pkt, vc := ip.link.recvPhit(cycle); pkt != nil {
-			buf := &ip.vcs[vc]
-			if buf.pushPhit(pkt) {
-				r.occupied++
-			}
-			if !buf.claimed {
-				r.markClaimable(i, vc)
-			}
-			if consumed++; consumed == expect {
-				break
-			}
+		buf := &ip.vcs[vc]
+		if buf.pushPhit(pkt) {
+			r.occupied++
+		}
+		if !buf.claimed {
+			r.markClaimable(i, vc)
 		}
 	}
-	for i := 0; consumed < expect && i < len(r.out); i++ {
+	for m := credits; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		op := &r.out[i]
-		if op.link == nil {
-			continue
+		vc, ok := op.link.recvCredit(cycle)
+		if !ok {
+			panic(fmt.Sprintf("engine: credit arrival bit without a credit at router %d out port %d", r.id, i))
 		}
-		if vc, ok := op.link.recvCredit(cycle); ok {
-			op.credits[vc]++
-			if op.credits[vc] > op.capacity {
-				panic(fmt.Sprintf("engine: credit overflow at router %d out port %d vc %d (%d > %d)",
-					r.id, i, vc, op.credits[vc], op.capacity))
-			}
-			consumed++
+		op.credits[vc]++
+		if op.credits[vc] > op.capacity {
+			panic(fmt.Sprintf("engine: credit overflow at router %d out port %d vc %d (%d > %d)",
+				r.id, i, vc, op.credits[vc], op.capacity))
 		}
 	}
 	// Credit arrivals change the occupancy the Piggybacking bits
@@ -413,7 +470,7 @@ func (r *router) continueTransfers(cycle int64) {
 			if vc >= n {
 				vc -= n
 			}
-			if !op.transfers[vc].active {
+			if (op.activeVCs>>uint(vc))&1 == 0 {
 				continue
 			}
 			if r.trySendPhit(cycle, p, vc) {
@@ -429,7 +486,7 @@ func (r *router) continueTransfers(cycle int64) {
 func (r *router) trySendPhit(cycle int64, port, vc int) bool {
 	op := &r.out[port]
 	t := &op.transfers[vc]
-	if r.portSent[port] || r.inputUsed[t.inPort] {
+	if (r.portSent>>uint(port))&1 != 0 || (r.inputUsed>>uint(t.inPort))&1 != 0 {
 		return false
 	}
 	buf := &r.in[t.inPort].vcs[t.inVC]
@@ -461,8 +518,8 @@ func (r *router) trySendPhit(cycle int64, port, vc int) bool {
 		}
 	}
 	pkt, tail := buf.takePhit()
-	r.portSent[port] = true
-	r.inputUsed[t.inPort] = true
+	r.portSent |= 1 << uint(port)
+	r.inputUsed |= 1 << uint(t.inPort)
 	r.prog.moved++
 	// The phit left the input buffer: return a credit upstream.
 	if up := r.in[t.inPort].link; up != nil {
@@ -471,6 +528,7 @@ func (r *router) trySendPhit(cycle int64, port, vc int) bool {
 	if tail {
 		t.active = false
 		t.pkt = nil
+		op.activeVCs &^= 1 << uint(vc)
 		op.nActive--
 		if op.nActive == 0 {
 			r.xferPorts &^= 1 << uint(port)
@@ -526,7 +584,7 @@ func (r *router) makeClaims(cycle int64) {
 	if r.claimPorts == 0 {
 		return
 	}
-	rr := uint(cycle % int64(len(r.in)))
+	rr := r.claimRotation(cycle)
 	// Bits >= rr first, then the wrapped-around remainder.
 	hi := r.claimPorts >> rr << rr
 	for m := hi; m != 0; m &= m - 1 {
@@ -535,6 +593,27 @@ func (r *router) makeClaims(cycle int64) {
 	for m := r.claimPorts &^ hi; m != 0; m &= m - 1 {
 		r.claimPort(cycle, bits.TrailingZeros64(m))
 	}
+}
+
+// claimRotation returns cycle % len(in) — the claim-arbitration offset —
+// through a memoized increment: consecutive active cycles pay an add and a
+// conditional subtract instead of a 64-bit division, and larger gaps (idle
+// skips) fall back to the division with an identical result.
+func (r *router) claimRotation(cycle int64) uint {
+	n := int64(len(r.in))
+	d := cycle - r.rrCycle
+	r.rrCycle = cycle
+	if d >= 0 && d < n {
+		v := r.rrVal + d
+		if v >= n {
+			v -= n
+		}
+		r.rrVal = v
+		return uint(v)
+	}
+	v := cycle % n
+	r.rrVal = v
+	return uint(v)
 }
 
 // claimPort tries to claim every claimable head of input port p.
@@ -551,25 +630,43 @@ func (r *router) claimPort(cycle int64, p int) {
 
 // claimHead evaluates routing for the head packet of input (port, vc) and,
 // when a decision is claimable, allocates the output VC (and pushes the
-// first phit if the crossbar still has capacity this cycle).
+// first phit if the crossbar still has capacity this cycle). The head's
+// plan is built once per (packet, fault epoch) and replayed on retries, so
+// a waiting head costs only the dynamic predicate checks — the packet
+// itself is dereferenced again only when a decision lands.
 func (r *router) claimHead(cycle int64, port, vc int) {
 	buf := &r.in[port].vcs[vc]
-	entry := buf.headEntry()
-	pkt := entry.pkt
 	e := r.eng
+	size := r.pktSize
+	plan := &r.plans[int(r.planOff[port])+vc]
+	if plan.HeadSeq != buf.headSeq || plan.Epoch != e.routeEpoch {
+		entry := buf.headEntry()
+		pkt := entry.pkt
+		plan.HeadSeq, plan.Epoch = buf.headSeq, e.routeEpoch
+		if int(pkt.St.DstRouter) == r.id {
+			plan.Eject = true
+			plan.EjectPort = int16(pkt.St.DstEject)
+		} else {
+			plan.Eject = false
+			r.curQueueOcc, r.curQueueCap = int(buf.used), int(buf.capacity)
+			r.curHeadFull = entry.arrived == pkt.Size
+			r.alg.BuildPlan(r, &pkt.St, r.id, size, r.routeRand, plan)
+		}
+	}
 
 	var outPortIdx, outVC int
-	eject := int(pkt.St.DstRouter) == r.id
-	if eject {
-		outPortIdx = e.topo.EjectPortOfNode(int(pkt.St.Dst))
-		outVC = 0
-		if !r.CanClaim(outPortIdx, outVC, int(pkt.Size)) {
+	var dec core.Decision
+	if plan.Eject {
+		outPortIdx, outVC = int(plan.EjectPort), 0
+		if !r.CanClaim(outPortIdx, outVC, size) {
 			return
 		}
 	} else {
 		r.curQueueOcc, r.curQueueCap = int(buf.used), int(buf.capacity)
-		r.curHeadFull = entry.arrived == pkt.Size
-		dec := r.alg.Route(r, &pkt.St, r.id, int(pkt.Size), r.routeRand)
+		if r.needHeadFull {
+			r.curHeadFull = buf.headEntry().arrived == int32(size)
+		}
+		dec = r.alg.RoutePlanned(r, plan, size, r.routeRand)
 		if dec.Wait {
 			return
 		}
@@ -579,20 +676,24 @@ func (r *router) claimHead(cycle int64, port, vc int) {
 			// normal transfer machinery (credits return upstream) and
 			// accounts a fault drop at the tail.
 			outPortIdx, outVC = e.topo.Ports, 0
-			if !r.CanClaim(outPortIdx, outVC, int(pkt.Size)) {
+			if !r.CanClaim(outPortIdx, outVC, size) {
 				return // the sink is draining another packet; retry
 			}
 		} else {
 			outPortIdx, outVC = dec.Port, dec.VC
-			if !r.CanClaim(outPortIdx, outVC, int(pkt.Size)) {
+			if !r.CanClaim(outPortIdx, outVC, size) {
 				panic(fmt.Sprintf("engine: %s routed to unclaimable (%d,%d) at router %d",
 					r.alg.Name(), outPortIdx, outVC, r.id))
 			}
-			core.CommitHop(e.topo, &pkt.St, r.id, dec)
 		}
+	}
+	pkt := buf.headEntry().pkt
+	if !plan.Eject && !dec.Drop {
+		core.CommitHop(e.topo, &pkt.St, r.id, dec)
 	}
 	op := &r.out[outPortIdx]
 	op.transfers[outVC] = transfer{active: true, inPort: int16(port), inVC: int8(vc), pkt: pkt}
+	op.activeVCs |= 1 << uint(outVC)
 	op.nActive++
 	r.xferPorts |= 1 << uint(outPortIdx)
 	if op.link != nil && r.flow == VCT {

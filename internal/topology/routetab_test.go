@@ -1,0 +1,83 @@
+package topology
+
+import "testing"
+
+// TestRouteTableMatchesArithmetic checks every table entry against the
+// closed-form arithmetic it replaces, exhaustively for h=2..8 (the range
+// the simulator's property tests cover; h=8 is the paper's scale).
+func TestRouteTableMatchesArithmetic(t *testing.T) {
+	for h := 2; h <= 8; h++ {
+		p := MustNew(h)
+		rt := NewRouteTable(p)
+		for r := 0; r < p.Routers; r++ {
+			if rt.GroupOf(r) != p.GroupOf(r) || rt.IndexOf(r) != p.IndexInGroup(r) {
+				t.Fatalf("h=%d router %d: group/index table mismatch", h, r)
+			}
+		}
+		for from := 0; from < p.RoutersPerGroup; from++ {
+			for to := 0; to < p.RoutersPerGroup; to++ {
+				want := -1
+				if from != to {
+					want = p.LocalPort(from, to)
+				}
+				if got := rt.LocalPortTo(from, to); got != want {
+					t.Fatalf("h=%d LocalPortTo(%d,%d) = %d, want %d", h, from, to, got, want)
+				}
+			}
+			for port := 0; port < p.LocalPorts; port++ {
+				if got, want := rt.LocalTargetOf(from, port), p.LocalPortTarget(from, port); got != want {
+					t.Fatalf("h=%d LocalTargetOf(%d,%d) = %d, want %d", h, from, port, got, want)
+				}
+			}
+		}
+		for g := 0; g < p.Groups; g++ {
+			for tg := 0; tg < p.Groups; tg++ {
+				if tg == g {
+					continue
+				}
+				d := rt.GroupOffset(g, tg)
+				k := p.ChannelToGroup(g, tg)
+				if d-1 != k {
+					t.Fatalf("h=%d GroupOffset(%d,%d) = %d, channel %d", h, g, tg, d, k)
+				}
+				owner, gport := p.GlobalPortOfChannel(k)
+				if rt.OwnerOf(d) != owner {
+					t.Fatalf("h=%d OwnerOf(%d) = %d, want %d", h, d, rt.OwnerOf(d), owner)
+				}
+				for idx := 0; idx < p.RoutersPerGroup; idx++ {
+					e := rt.MinHopTo(idx, d)
+					cur := p.RouterID(g, idx)
+					wantIdx := p.MinimalLocalTarget(cur, tg)
+					if e.Global != (owner == idx) {
+						t.Fatalf("h=%d MinHopTo(%d,%d).Global = %v", h, idx, d, e.Global)
+					}
+					if e.Global {
+						if int(e.Port) != gport || e.Exit != -1 {
+							t.Fatalf("h=%d MinHopTo(%d,%d) = %+v, want global port %d", h, idx, d, e, gport)
+						}
+						if rt.GlobalPortTo(idx, d) != gport {
+							t.Fatalf("h=%d GlobalPortTo(%d,%d) = %d, want %d", h, idx, d, rt.GlobalPortTo(idx, d), gport)
+						}
+					} else {
+						if int(e.Exit) != wantIdx || int(e.Port) != p.LocalPort(idx, wantIdx) {
+							t.Fatalf("h=%d MinHopTo(%d,%d) = %+v, want exit %d port %d",
+								h, idx, d, e, wantIdx, p.LocalPort(idx, wantIdx))
+						}
+						if rt.GlobalPortTo(idx, d) != -1 {
+							t.Fatalf("h=%d GlobalPortTo(%d,%d) = %d on a non-owner", h, idx, d, rt.GlobalPortTo(idx, d))
+						}
+					}
+				}
+			}
+		}
+		for idx := 0; idx < p.RoutersPerGroup; idx++ {
+			want := p.GlobalPortBase()
+			if idx > 0 {
+				want = p.LocalPort(idx, idx-1)
+			}
+			if got := rt.RingPortOf(idx); got != want {
+				t.Fatalf("h=%d RingPortOf(%d) = %d, want %d", h, idx, got, want)
+			}
+		}
+	}
+}
