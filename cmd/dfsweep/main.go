@@ -32,7 +32,7 @@ func main() {
 		offset    = flag.Int("offset", 1, "ADVG/ADVL offset")
 		globalPct = flag.Float64("globalpct", 50, "MIX: percent of ADVG+h traffic")
 		loads     = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.8,1.0", "comma-separated offered loads")
-		faults    = flag.String("faults", "", `fault scenario applied to every point, e.g. "g=0.1" (see README)`)
+		faults    = flag.String("faults", "", `fault scenario applied to every point, e.g. "g=0.1" or "router=5;flap@2000+400/100=g0-4" (see README)`)
 		stale     = flag.Int64("stale", 0, "cycles the routing view lags behind fault events (stale link state)")
 		metric    = flag.String("metric", "accepted", "metric: accepted, latency, netlatency")
 		format    = flag.String("format", "dat", "output format: dat or md")

@@ -37,7 +37,7 @@ func main() {
 		load      = flag.Float64("load", 0.5, "offered load in phits/(node*cycle)")
 		burst     = flag.Int("burst", 0, "burst packets per node (0 = steady state)")
 		phases    = flag.String("phases", "", `phased workload spec, e.g. "UN@0.3x4000,ADVG+4@0.3" (overrides -traffic/-load/-burst; see README)`)
-		faults    = flag.String("faults", "", `fault scenario spec, e.g. "g=0.1;kill@5000=g0-4" (see README)`)
+		faults    = flag.String("faults", "", `fault scenario spec, e.g. "g=0.1;kill@5000=g0-4", "router=5@1000-4000", "grp=2" or "flap@2000+400/100=g0-4" (see README)`)
 		window    = flag.Int64("window", 0, "timeline window width in cycles (0 = no timeline)")
 		threshold = flag.Float64("threshold", 0.45, "misrouting threshold fraction")
 		warmup    = flag.Int64("warmup", 3000, "warmup cycles")

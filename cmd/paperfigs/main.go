@@ -33,6 +33,7 @@ import (
 
 type env struct {
 	h        int
+	rh       int // network size of the resilience degradation panels
 	warmup   int64
 	measure  int64
 	seed     uint64
@@ -56,6 +57,7 @@ func main() {
 		tload    = flag.Float64("tload", 0.2, "offered load of the transient traffic-change figure")
 		rmechs   = flag.String("rmechs", "Minimal,Valiant,PiggyBacking,OLM", "mechanisms of the resilience figure")
 		rload    = flag.Float64("rload", 0.25, "offered load of the resilience figure")
+		rh       = flag.Int("rh", 8, "dragonfly parameter of the degradation panels (paper scale: 8)")
 		warmup   = flag.Int64("warmup", 2000, "warmup cycles")
 		measure  = flag.Int64("measure", 4000, "measured cycles")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -74,7 +76,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	e := &env{
-		h: *h, warmup: *warmup, measure: *measure, seed: *seed,
+		h: *h, rh: *rh, warmup: *warmup, measure: *measure, seed: *seed,
 		burstVCT: *burstVCT, burstWH: *burstWH, outDir: *out,
 		opt:     sweep.Options{Parallelism: *par, Context: ctx},
 		summary: &strings.Builder{},
@@ -483,7 +485,30 @@ func (e *env) figResilience(mechs []dragonfly.Mechanism, load float64) error {
 		}
 		fmt.Fprintln(e.summary)
 	}
-	return nil
+
+	// Degradation panels: the router-failure + flap matrix at paper scale
+	// (-rh, default h=8) under the pathological ADVG+h pattern. Severity s
+	// kills s whole routers from the start and flaps the adversarial
+	// pattern's hot global channel for s periods mid-measurement, so the
+	// panels show accepted load and the combined fault-drop + suppressed-
+	// injection rate as the fabric degrades (see sweep.DegradationSweep).
+	dbase := dragonfly.PaperVCT(e.rh)
+	dbase.Warmup, dbase.Measure, dbase.Seed = e.warmup, e.measure, e.seed
+	dbase.Traffic = dragonfly.Traffic{Kind: dragonfly.ADVG, Offset: e.rh}
+	dbase.Load = load
+	severities := []int{0, 1, 2, 4, 8}
+	dseries, err := sweep.DegradationSweep(dbase, mechs, severities, e.opt)
+	if err = e.record(err); err != nil {
+		return err
+	}
+	if err := e.writePanel("figresilience_c_degradation_accepted",
+		fmt.Sprintf("Accepted load vs. failure severity (routers down + flapping channel), ADVG+%d@%.2g h=%d, VCT", e.rh, load, e.rh),
+		"Failure severity", sweep.AcceptedLoad, dseries); err != nil {
+		return err
+	}
+	return e.writePanel("figresilience_d_degradation_droprate",
+		fmt.Sprintf("Fault-drop + suppressed-injection rate vs. failure severity, ADVG+%d h=%d", e.rh, e.rh),
+		"Failure severity", sweep.DropSuppressRate, dseries)
 }
 
 // burstRatios appends the paper's burst headline numbers: each mechanism's

@@ -218,11 +218,62 @@ type FaultEvent struct {
 	Link   LinkID
 }
 
+// RouterFault fails a whole router: every link port dies as one event and
+// the attached nodes are parked — their generation events are suppressed at
+// the source (counted in Result.Suppressed, separate from drops) and
+// packets arriving for them drain through the drop sink. At schedules the
+// failure on the absolute clock (zero or negative = failed from the
+// start); Until, when positive, revives the router at that cycle. Reviving
+// restores exactly the links with no other reason to stay down.
+type RouterFault struct {
+	Router int
+	At     int64 `json:",omitempty"`
+	Until  int64 `json:",omitempty"`
+}
+
+// BundleFault fails a correlated cable bundle of group Group as one event,
+// in either of two forms:
+//
+//   - First == Last == 0: a whole-group blackout. The group's entire
+//     global-channel set is one physical bundle in the model; cutting it
+//     isolates the group (every global channel of a group lands in a
+//     distinct other group, so there is no detour), which is why the
+//     blackout takes the group's 2h routers down with it — parked nodes
+//     and all — instead of leaving an unreachable island behind.
+//   - otherwise: a local backplane segment. Every local link among router
+//     indices [First, Last] of the group dies together; the routers stay
+//     up and route around it.
+//
+// At and Until schedule the outage like RouterFault's.
+type BundleFault struct {
+	Group int
+	First int   `json:",omitempty"`
+	Last  int   `json:",omitempty"`
+	At    int64 `json:",omitempty"`
+	Until int64 `json:",omitempty"`
+}
+
+// FlapSpec schedules a transient link instability: Link dies at cycles
+// At + k*Period and recovers Down cycles later, for k in [0, Count) — an
+// unstable cable rather than a hard failure. Flaps expand into the
+// ordinary fault-event stream at build time, so determinism and the
+// serial-section application path are untouched; every kill and repair
+// recomputes the (possibly StaleCycles-stale) routing view through the
+// incremental epoch machinery.
+type FlapSpec struct {
+	Link   LinkID
+	At     int64
+	Period int64
+	Down   int64
+	Count  int
+}
+
 // FaultSpec describes a degraded dragonfly: links failed from the start
-// (explicitly, or as deterministic seeded fractions per link class) plus
-// dynamic mid-run failures and repairs. The zero value means a pristine
-// network and changes nothing — fault-free runs are bit-identical to a
-// config with no FaultSpec at all.
+// (explicitly, or as deterministic seeded fractions per link class),
+// whole-router and correlated-bundle failures, plus dynamic mid-run
+// failures, repairs and flaps. The zero value means a pristine network and
+// changes nothing — fault-free runs are bit-identical to a config with no
+// FaultSpec at all.
 type FaultSpec struct {
 	// Links lists links failed from cycle 0.
 	Links []LinkID `json:",omitempty"`
@@ -235,12 +286,42 @@ type FaultSpec struct {
 	// Events schedules mid-run kills and repairs, applied in At order
 	// (ties in canonical link order, kills before repairs).
 	Events []FaultEvent `json:",omitempty"`
+	// Routers fails whole routers, parked nodes included.
+	Routers []RouterFault `json:",omitempty"`
+	// Bundles fails correlated cable bundles: whole-group blackouts or
+	// local backplane segments.
+	Bundles []BundleFault `json:",omitempty"`
+	// Flaps schedules transient kill+repair bursts per link.
+	Flaps []FlapSpec `json:",omitempty"`
 }
 
 // empty reports whether the spec describes a pristine network.
 func (f *FaultSpec) empty() bool {
 	return f == nil || (len(f.Links) == 0 && len(f.Events) == 0 &&
+		len(f.Routers) == 0 && len(f.Bundles) == 0 && len(f.Flaps) == 0 &&
 		f.GlobalFraction == 0 && f.LocalFraction == 0)
+}
+
+// dynamic reports whether the spec changes fault state mid-run — the only
+// case where routing-view staleness can matter.
+func (f *FaultSpec) dynamic() bool {
+	if f == nil {
+		return false
+	}
+	if len(f.Events) > 0 || len(f.Flaps) > 0 {
+		return true
+	}
+	for _, r := range f.Routers {
+		if r.At > 0 || r.Until > 0 {
+			return true
+		}
+	}
+	for _, b := range f.Bundles {
+		if b.At > 0 || b.Until > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Config describes one simulation experiment. Zero fields take the paper's
@@ -356,6 +437,12 @@ type Result struct {
 	Delivered     int64
 	Generated     int64
 	InjectionLost int64
+	// Suppressed counts generation events suppressed at the source
+	// because the node's router was dead at the time — parked capacity,
+	// separate from in-network drops (always zero without router
+	// failures). Conservation: Generated == Injected + InjectionLost +
+	// Suppressed.
+	Suppressed int64 `json:",omitempty"`
 	// FaultDrops counts packets discarded in-network because link
 	// failures left them without a surviving route (always zero on
 	// fault-free runs).
@@ -399,6 +486,7 @@ type Window struct {
 	Delivered     int64
 	Generated     int64
 	InjectionLost int64
+	Suppressed    int64 `json:",omitempty"`
 	FaultDrops    int64
 }
 
@@ -427,6 +515,7 @@ type PhaseDigest struct {
 
 	Generated     int64
 	InjectionLost int64
+	Suppressed    int64 `json:",omitempty"`
 	Delivered     int64
 	FaultDrops    int64
 }
@@ -545,6 +634,63 @@ func (c Config) Validate() error {
 			}
 			if err := checkLink(ev.Link, fmt.Sprintf("fault event %d", i)); err != nil {
 				return err
+			}
+		}
+		checkOutage := func(at, until int64, where string) error {
+			if at < 0 {
+				return fmt.Errorf("dragonfly: %s at negative cycle %d", where, at)
+			}
+			if until != 0 && until <= at {
+				return fmt.Errorf("dragonfly: %s repairs at cycle %d, not after its failure at %d",
+					where, until, at)
+			}
+			return nil
+		}
+		for i, rf := range f.Routers {
+			where := fmt.Sprintf("router fault %d", i)
+			if rf.Router < 0 || rf.Router >= p.Routers {
+				return fmt.Errorf("dragonfly: %s names no router of an h=%d dragonfly (router %d)",
+					where, c.H, rf.Router)
+			}
+			if err := checkOutage(rf.At, rf.Until, where); err != nil {
+				return err
+			}
+		}
+		for i, b := range f.Bundles {
+			where := fmt.Sprintf("bundle fault %d", i)
+			if b.Group < 0 || b.Group >= p.Groups {
+				return fmt.Errorf("dragonfly: %s names no group of an h=%d dragonfly (group %d)",
+					where, c.H, b.Group)
+			}
+			if b.First != 0 || b.Last != 0 {
+				lo, hi := b.First, b.Last
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if lo < 0 || hi >= p.RoutersPerGroup || lo == hi {
+					return fmt.Errorf("dragonfly: %s local range [%d, %d] needs two distinct router indices in [0, %d)",
+						where, b.First, b.Last, p.RoutersPerGroup)
+				}
+			}
+			if err := checkOutage(b.At, b.Until, where); err != nil {
+				return err
+			}
+		}
+		for i, fl := range f.Flaps {
+			where := fmt.Sprintf("flap %d", i)
+			if err := checkLink(fl.Link, where); err != nil {
+				return err
+			}
+			// The cycle bound keeps the expanded schedule (At + Count*Period)
+			// comfortably inside int64 for any allowed Count.
+			const maxFlapCycle = int64(1) << 40
+			if fl.At < 0 || fl.At > maxFlapCycle || fl.Period <= 0 || fl.Period > maxFlapCycle ||
+				fl.Down <= 0 || fl.Down >= fl.Period {
+				return fmt.Errorf("dragonfly: %s needs At >= 0 and 0 < Down < Period (at %d, period %d, down %d)",
+					where, fl.At, fl.Period, fl.Down)
+			}
+			if fl.Count < 1 || fl.Count > 100000 {
+				return fmt.Errorf("dragonfly: %s repeats %d times (want 1..100000)", where, fl.Count)
 			}
 		}
 	}
@@ -703,9 +849,10 @@ func (c Config) Canonical() Config {
 	} else {
 		c.Faults = c.Faults.canonical(c.H)
 	}
-	if c.Faults == nil || len(c.Faults.Events) == 0 {
-		// Staleness only delays the routing view of *events*; without any
-		// it cannot affect results, so equivalent configs share cache keys.
+	if !c.Faults.dynamic() {
+		// Staleness only delays the routing view of mid-run changes;
+		// without any it cannot affect results, so equivalent configs
+		// share cache keys.
 		c.StaleCycles = 0
 	}
 	c.Workers = 0
@@ -725,15 +872,19 @@ func canonicalLink(p *topology.P, l LinkID) LinkID {
 }
 
 // canonical returns the spec with links named from their lower-id end,
-// duplicates removed, links sorted, and events ordered by (cycle, link,
-// kills first) — the order compile feeds the engine, so two spellings of
-// one scenario hash and simulate identically.
+// duplicates removed, links sorted, events ordered by (cycle, link, kills
+// first) — the order compile feeds the engine — and router, bundle and
+// flap lists normalized, deduplicated and sorted, so two spellings of one
+// scenario hash and simulate identically.
 func (f *FaultSpec) canonical(h int) *FaultSpec {
 	out := &FaultSpec{GlobalFraction: f.GlobalFraction, LocalFraction: f.LocalFraction}
 	p, err := topology.New(h)
 	if err != nil {
 		out.Links = append([]LinkID(nil), f.Links...)
 		out.Events = append([]FaultEvent(nil), f.Events...)
+		out.Routers = append([]RouterFault(nil), f.Routers...)
+		out.Bundles = append([]BundleFault(nil), f.Bundles...)
+		out.Flaps = append([]FlapSpec(nil), f.Flaps...)
 		return out
 	}
 	seen := make(map[LinkID]bool, len(f.Links))
@@ -771,13 +922,112 @@ func (f *FaultSpec) canonical(h int) *FaultSpec {
 			return !a.Repair && b.Repair
 		})
 	}
+	if len(f.Routers) > 0 {
+		rs := make([]RouterFault, len(f.Routers))
+		for i, rf := range f.Routers {
+			if rf.At < 0 {
+				rf.At = 0 // "failed from the start" has one spelling
+			}
+			rs[i] = rf
+		}
+		sort.Slice(rs, func(i, j int) bool {
+			a, b := rs[i], rs[j]
+			if a.Router != b.Router {
+				return a.Router < b.Router
+			}
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			return a.Until < b.Until
+		})
+		for i, rf := range rs {
+			if i == 0 || rf != rs[i-1] {
+				out.Routers = append(out.Routers, rf)
+			}
+		}
+	}
+	if len(f.Bundles) > 0 {
+		bs := make([]BundleFault, len(f.Bundles))
+		for i, b := range f.Bundles {
+			if b.First > b.Last {
+				b.First, b.Last = b.Last, b.First
+			}
+			if b.At < 0 {
+				b.At = 0
+			}
+			bs[i] = b
+		}
+		sort.Slice(bs, func(i, j int) bool {
+			a, b := bs[i], bs[j]
+			if a.Group != b.Group {
+				return a.Group < b.Group
+			}
+			if a.First != b.First {
+				return a.First < b.First
+			}
+			if a.Last != b.Last {
+				return a.Last < b.Last
+			}
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			return a.Until < b.Until
+		})
+		for i, b := range bs {
+			if i == 0 || b != bs[i-1] {
+				out.Bundles = append(out.Bundles, b)
+			}
+		}
+	}
+	if len(f.Flaps) > 0 {
+		fs := make([]FlapSpec, len(f.Flaps))
+		for i, fl := range f.Flaps {
+			fl.Link = canonicalLink(p, fl.Link)
+			fs[i] = fl
+		}
+		sort.Slice(fs, func(i, j int) bool {
+			a, b := fs[i], fs[j]
+			if a.Link.Router != b.Link.Router {
+				return a.Link.Router < b.Link.Router
+			}
+			if a.Link.Port != b.Link.Port {
+				return a.Link.Port < b.Link.Port
+			}
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			if a.Period != b.Period {
+				return a.Period < b.Period
+			}
+			if a.Down != b.Down {
+				return a.Down < b.Down
+			}
+			return a.Count < b.Count
+		})
+		for i, fl := range fs {
+			if i == 0 || fl != fs[i-1] {
+				out.Flaps = append(out.Flaps, fl)
+			}
+		}
+	}
 	return out
 }
 
+// partitionError renders the witness of a failed connectivity probe: the
+// first unreachable live router pair, or the everything-failed case.
+func partitionError(set *topology.FaultSet, a, b int, when string) error {
+	if a < 0 {
+		return fmt.Errorf("dragonfly: %s fail every router", when)
+	}
+	return fmt.Errorf("dragonfly: %s partition the network: router %d cannot reach router %d (%d global, %d local links down, %d routers failed)",
+		when, a, b, set.DownGlobal(), set.DownLocal(), set.DownRouters())
+}
+
 // compile builds the engine's initial fault set and event list: fractions
-// drawn from seed, explicit links applied, and the whole schedule checked
-// for connectivity (a partitioned network cannot be simulated
-// meaningfully, so such configs are rejected here).
+// drawn from seed, explicit links and failed-from-start routers/bundles
+// applied, scheduled outages and flaps expanded into the event stream, and
+// the whole schedule checked for connectivity (a partitioned network
+// cannot be simulated meaningfully, so such configs are rejected here).
 func (f *FaultSpec) compile(p *topology.P, seed uint64) (*topology.FaultSet, []engine.FaultEvent, error) {
 	cf := f.canonical(p.H)
 	set := topology.NewFaultSet(p)
@@ -789,28 +1039,99 @@ func (f *FaultSpec) compile(p *topology.P, seed uint64) (*topology.FaultSet, []e
 	for _, l := range cf.Links {
 		set.SetLink(l.Router, l.Port, true)
 	}
-	if !set.Connected() {
-		return nil, nil, fmt.Errorf("dragonfly: fault set partitions the network (%d global, %d local links down)",
-			set.DownGlobal(), set.DownLocal())
-	}
 	var evs []engine.FaultEvent
-	if len(cf.Events) > 0 {
-		probe := set.Clone()
-		evs = make([]engine.FaultEvent, len(cf.Events))
-		for i, ev := range cf.Events {
-			evs[i] = engine.FaultEvent{
-				At: ev.At, Repair: ev.Repair,
-				Router: ev.Link.Router, Port: ev.Link.Port,
+	link := func(at int64, repair bool, router, port int) {
+		evs = append(evs, engine.FaultEvent{At: at, Repair: repair, Router: router, Port: port})
+	}
+	router := func(r int, at, until int64) {
+		if at <= 0 {
+			set.SetRouter(r, true)
+		} else {
+			evs = append(evs, engine.FaultEvent{At: at, Router: r, Port: engine.WholeRouter})
+		}
+		if until > 0 {
+			evs = append(evs, engine.FaultEvent{At: until, Repair: true, Router: r, Port: engine.WholeRouter})
+		}
+	}
+	for _, rf := range cf.Routers {
+		router(rf.Router, rf.At, rf.Until)
+	}
+	for _, b := range cf.Bundles {
+		if b.First == 0 && b.Last == 0 {
+			// Whole-group blackout: the routers go down with their
+			// global-channel bundle (see BundleFault).
+			for i := 0; i < p.RoutersPerGroup; i++ {
+				router(p.RouterID(b.Group, i), b.At, b.Until)
 			}
-			probe.SetLink(ev.Link.Router, ev.Link.Port, !ev.Repair)
+			continue
+		}
+		for i := b.First; i < b.Last; i++ {
+			for j := i + 1; j <= b.Last; j++ {
+				r, port := p.RouterID(b.Group, i), p.LocalPort(i, j)
+				if b.At <= 0 {
+					set.SetLink(r, port, true)
+				} else {
+					link(b.At, false, r, port)
+				}
+				if b.Until > 0 {
+					link(b.Until, true, r, port)
+				}
+			}
+		}
+	}
+	for _, fl := range cf.Flaps {
+		for k := 0; k < fl.Count; k++ {
+			at := fl.At + int64(k)*fl.Period
+			link(at, false, fl.Link.Router, fl.Link.Port)
+			link(at+fl.Down, true, fl.Link.Router, fl.Link.Port)
+		}
+	}
+	for _, ev := range cf.Events {
+		link(ev.At, ev.Repair, ev.Link.Router, ev.Link.Port)
+	}
+	// Merge order mirrors the canonical event order — (cycle, router, port
+	// with whole-router events first, kills before repairs) — so every
+	// expansion of one scenario feeds the engine the same stream.
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Router != b.Router {
+			return a.Router < b.Router
+		}
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		return !a.Repair && b.Repair
+	})
+	if a, b, part := set.Partition(); part {
+		return nil, nil, partitionError(set, a, b, "fault set would")
+	}
+	if len(evs) > 0 {
+		probe := set.Clone()
+		// Identical intermediate states share one connectivity probe: a
+		// flap schedule alternates between a handful of states, so the
+		// validation work stays O(distinct states), not O(events).
+		checked := map[string]bool{probe.StateKey(): true}
+		for i, ev := range evs {
+			if ev.Port == engine.WholeRouter {
+				probe.SetRouter(ev.Router, !ev.Repair)
+			} else {
+				probe.SetLink(ev.Router, ev.Port, !ev.Repair)
+			}
 			// The engine applies every event due at one cycle before any
 			// routing runs, so only the state at each cycle boundary must
 			// stay connected — probe it after the last event of each At.
-			if i+1 < len(cf.Events) && cf.Events[i+1].At == ev.At {
+			if i+1 < len(evs) && evs[i+1].At == ev.At {
 				continue
 			}
-			if !probe.Connected() {
-				return nil, nil, fmt.Errorf("dragonfly: fault events leave the network partitioned from cycle %d", ev.At)
+			if key := probe.StateKey(); !checked[key] {
+				checked[key] = true
+				if a, b, part := probe.Partition(); part {
+					return nil, nil, fmt.Errorf("%w at cycle %d",
+						partitionError(probe, a, b, "fault events"), ev.At)
+				}
 			}
 		}
 	}
@@ -1029,6 +1350,7 @@ func timelineFromMetrics(t *metrics.Timeline) *Timeline {
 			Delivered:          w.Delivered,
 			Generated:          w.Generated,
 			InjectionLost:      w.InjectionLost,
+			Suppressed:         w.Suppressed,
 			FaultDrops:         w.FaultDrops,
 		}
 	}
@@ -1056,6 +1378,7 @@ func phasesFromMetrics(ds []metrics.PhaseDigest) []PhaseDigest {
 			GlobalMisrouteRate: d.GlobalMisrouteRate,
 			Generated:          d.Generated,
 			InjectionLost:      d.InjectionLost,
+			Suppressed:         d.Suppressed,
 			Delivered:          d.Delivered,
 			FaultDrops:         d.FaultDrops,
 		}
@@ -1095,6 +1418,7 @@ func fromMetrics(m metrics.Result, c Config) Result {
 		Delivered:          m.Delivered,
 		Generated:          m.Generated,
 		InjectionLost:      m.InjectionLost,
+		Suppressed:         m.Suppressed,
 		FaultDrops:         m.FaultDrops,
 		PhitsMoved:         m.PhitsMoved,
 		Cycles:             m.Cycles,

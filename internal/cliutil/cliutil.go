@@ -172,17 +172,27 @@ func Phases(spec string) ([]dragonfly.JobSpec, error) {
 //	       | "l=" frac                       seeded fraction of local links down
 //	       | link ("," link)*                links down from the start
 //	       | event "@" cycle "=" link ("," link)*
+//	       | "router=" rf ("," rf)*          whole-router failures (nodes parked)
+//	       | "grp=" bf ("," bf)*             correlated bundles (group blackout / local segment)
+//	       | "flap@" C "+" P "/" D ["x" N] "=" link ("," link)*
 //	event := "kill" | "repair"
+//	rf    := router ["@" C ["-" C2]]         fail at C (default 0), revive at C2
+//	bf    := G [":" i "-" j] ["@" C ["-" C2]]
 //	link  := "r" router "p" port             by router id and output port
 //	       | "g" A "-" B                     the global channel between groups A and B
 //	       | "l" G ":" i "-" j               the local link between router indices i and j of group G
 //
-// h sizes the dragonfly the group/local link forms resolve against.
-// Examples:
+// h sizes the dragonfly the group/local link forms resolve against. A bare
+// "grp=G" blacks out group G's whole global-channel bundle (its routers
+// with it); "grp=G:i-j" kills the local links among router indices [i, j].
+// A flap kills each listed link at cycle C and every P cycles after, for N
+// periods (default 8), repairing D cycles into each period. Examples:
 //
 //	g=0.1
 //	g0-4;l2:0-3
 //	g=0.05;kill@5000=g0-4;repair@8000=g0-4
+//	router=5,12@1000-4000
+//	grp=2@500;flap@1000+200/50x20=g0-4
 func Faults(spec string, h int) (*dragonfly.FaultSpec, error) {
 	p, err := topology.New(h)
 	if err != nil {
@@ -205,6 +215,55 @@ func Faults(spec string, h int) (*dragonfly.FaultSpec, error) {
 				out.GlobalFraction = frac
 			} else {
 				out.LocalFraction = frac
+			}
+		case strings.HasPrefix(lower, "router="):
+			for _, tok := range strings.Split(item[len("router="):], ",") {
+				rf, err := routerFault(p, tok)
+				if err != nil {
+					return nil, err
+				}
+				out.Routers = append(out.Routers, rf)
+			}
+		case strings.HasPrefix(lower, "grp="):
+			for _, tok := range strings.Split(item[len("grp="):], ",") {
+				bf, err := bundleFault(p, tok)
+				if err != nil {
+					return nil, err
+				}
+				out.Bundles = append(out.Bundles, bf)
+			}
+		case strings.HasPrefix(lower, "flap@"):
+			head, linksStr, ok := strings.Cut(item[len("flap@"):], "=")
+			if !ok {
+				return nil, fmt.Errorf("bad flap %q (want flap@C+P/D[xN]=link)", item)
+			}
+			atStr, rest, ok := strings.Cut(head, "+")
+			perStr, rest2, ok2 := strings.Cut(rest, "/")
+			downStr, countStr, hasCount := strings.Cut(rest2, "x")
+			if !ok || !ok2 {
+				return nil, fmt.Errorf("bad flap %q (want flap@C+P/D[xN]=link)", item)
+			}
+			at, err1 := strconv.ParseInt(strings.TrimSpace(atStr), 10, 64)
+			period, err2 := strconv.ParseInt(strings.TrimSpace(perStr), 10, 64)
+			down, err3 := strconv.ParseInt(strings.TrimSpace(downStr), 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("bad flap timing in %q (want flap@C+P/D[xN]=link)", item)
+			}
+			count := 8
+			if hasCount {
+				count, err1 = strconv.Atoi(strings.TrimSpace(countStr))
+				if err1 != nil {
+					return nil, fmt.Errorf("bad flap count in %q: %v", item, err1)
+				}
+			}
+			links, err := faultLinks(p, linksStr)
+			if err != nil {
+				return nil, err
+			}
+			for _, l := range links {
+				out.Flaps = append(out.Flaps, dragonfly.FlapSpec{
+					Link: l, At: at, Period: period, Down: down, Count: count,
+				})
 			}
 		case strings.HasPrefix(lower, "kill@"), strings.HasPrefix(lower, "repair@"):
 			repair := lower[0] == 'r'
@@ -233,10 +292,78 @@ func Faults(spec string, h int) (*dragonfly.FaultSpec, error) {
 		}
 	}
 	if len(out.Links) == 0 && len(out.Events) == 0 &&
+		len(out.Routers) == 0 && len(out.Bundles) == 0 && len(out.Flaps) == 0 &&
 		out.GlobalFraction == 0 && out.LocalFraction == 0 {
 		return nil, fmt.Errorf("empty fault spec %q", spec)
 	}
 	return out, nil
+}
+
+// outage splits the optional "@C[-C2]" suffix shared by router and bundle
+// tokens, returning the token head and the fail/revive cycles (0 = from
+// the start / never).
+func outage(tok string) (head string, at, until int64, err error) {
+	head = strings.TrimSpace(tok)
+	head, when, has := strings.Cut(head, "@")
+	head = strings.TrimSpace(head)
+	if !has {
+		return head, 0, 0, nil
+	}
+	atStr, untilStr, hasUntil := strings.Cut(when, "-")
+	if at, err = strconv.ParseInt(strings.TrimSpace(atStr), 10, 64); err != nil {
+		return head, 0, 0, fmt.Errorf("bad cycle in %q: %v", tok, err)
+	}
+	if hasUntil {
+		if until, err = strconv.ParseInt(strings.TrimSpace(untilStr), 10, 64); err != nil {
+			return head, 0, 0, fmt.Errorf("bad repair cycle in %q: %v", tok, err)
+		}
+	}
+	return head, at, until, nil
+}
+
+// routerFault parses one "R[@C[-C2]]" whole-router failure token.
+func routerFault(p *topology.P, tok string) (dragonfly.RouterFault, error) {
+	head, at, until, err := outage(tok)
+	if err != nil {
+		return dragonfly.RouterFault{}, err
+	}
+	r, err := strconv.Atoi(head)
+	if err != nil {
+		return dragonfly.RouterFault{}, fmt.Errorf("bad router fault %q (want R[@C[-C2]]): %v", tok, err)
+	}
+	if r < 0 || r >= p.Routers {
+		return dragonfly.RouterFault{}, fmt.Errorf("router fault %q outside the %d routers of h=%d", tok, p.Routers, p.H)
+	}
+	return dragonfly.RouterFault{Router: r, At: at, Until: until}, nil
+}
+
+// bundleFault parses one "G[:i-j][@C[-C2]]" correlated-bundle token: the
+// bare form blacks out group G, the ranged form kills the local links
+// among router indices [i, j].
+func bundleFault(p *topology.P, tok string) (dragonfly.BundleFault, error) {
+	head, at, until, err := outage(tok)
+	if err != nil {
+		return dragonfly.BundleFault{}, err
+	}
+	gStr, span, ranged := strings.Cut(head, ":")
+	g, err := strconv.Atoi(strings.TrimSpace(gStr))
+	if err != nil {
+		return dragonfly.BundleFault{}, fmt.Errorf("bad bundle %q (want G[:i-j][@C[-C2]]): %v", tok, err)
+	}
+	if g < 0 || g >= p.Groups {
+		return dragonfly.BundleFault{}, fmt.Errorf("bundle %q outside the %d groups of h=%d", tok, p.Groups, p.H)
+	}
+	bf := dragonfly.BundleFault{Group: g, At: at, Until: until}
+	if ranged {
+		iStr, jStr, ok := strings.Cut(span, "-")
+		i, err1 := strconv.Atoi(strings.TrimSpace(iStr))
+		j, err2 := strconv.Atoi(strings.TrimSpace(jStr))
+		if !ok || err1 != nil || err2 != nil {
+			return dragonfly.BundleFault{}, fmt.Errorf("bad bundle range %q (want G:i-j)", tok)
+		}
+		bf.First, bf.Last = i, j
+	}
+	return bf, nil
 }
 
 // faultLinks parses a comma-separated list of link tokens.

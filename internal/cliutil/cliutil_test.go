@@ -153,9 +153,56 @@ func TestFaultsSpec(t *testing.T) {
 		t.Fatalf("r3p2 -> %+v, %v", fs.Links, err)
 	}
 
+	// Whole-router failures: bare, windowed, and a comma list with mixed
+	// outage windows.
+	fs, err = Faults("router=5,12@1000-4000,0@2000", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dragonfly.RouterFault{{Router: 5}, {Router: 12, At: 1000, Until: 4000}, {Router: 0, At: 2000}}
+	if len(fs.Routers) != 3 || fs.Routers[0] != want[0] || fs.Routers[1] != want[1] || fs.Routers[2] != want[2] {
+		t.Fatalf("router list -> %+v", fs.Routers)
+	}
+
+	// Bundles: a group blackout and a local backplane segment with a window.
+	fs, err = Faults("grp=2@500,1:0-3@100-900", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Bundles) != 2 ||
+		fs.Bundles[0] != (dragonfly.BundleFault{Group: 2, At: 500}) ||
+		fs.Bundles[1] != (dragonfly.BundleFault{Group: 1, First: 0, Last: 3, At: 100, Until: 900}) {
+		t.Fatalf("bundle list -> %+v", fs.Bundles)
+	}
+
+	// Flaps: default count is 8, explicit xN sticks, one FlapSpec per link.
+	fs, err = Faults("flap@1000+200/50=g0-4;flap@0+100/40x3=l1:0-2,r0p3", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Flaps) != 3 {
+		t.Fatalf("flap list -> %+v", fs.Flaps)
+	}
+	if fs.Flaps[0].At != 1000 || fs.Flaps[0].Period != 200 || fs.Flaps[0].Down != 50 || fs.Flaps[0].Count != 8 {
+		t.Fatalf("default-count flap -> %+v", fs.Flaps[0])
+	}
+	if fs.Flaps[1].Count != 3 || fs.Flaps[2].Count != 3 {
+		t.Fatalf("explicit-count flaps -> %+v", fs.Flaps[1:])
+	}
+	cfg = dragonfly.PaperVCT(2)
+	cfg.Load = 0.1
+	cfg.Faults = fs
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("parsed flap spec fails validation: %v", err)
+	}
+
 	for _, bad := range []string{
 		"", " ; ", "g=x", "q0-1", "g0-0", "g0-99", "l9:0-1", "l0:0-0", "l0:0-9",
 		"r0", "rxp1", "kill@=g0-1", "kill@abc=g0-1", "kill@100=", "g0-1x",
+		"router=", "router=x", "router=1@", "router=1@a-b", "router=1@5-x",
+		"grp=", "grp=x", "grp=1:", "grp=1:0", "grp=1:a-b",
+		"flap@=g0-1", "flap@1=g0-1", "flap@1+2=g0-1", "flap@1+2/x=g0-1",
+		"flap@1+2/1x=g0-1", "flap@1+2/1xq=g0-1", "flap@1+100/50=",
 	} {
 		if _, err := Faults(bad, 2); err == nil {
 			t.Errorf("bad fault spec %q accepted", bad)

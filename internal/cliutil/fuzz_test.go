@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"reflect"
 	"testing"
 
 	dragonfly "repro"
@@ -37,7 +38,9 @@ func FuzzPhases(f *testing.F) {
 }
 
 // FuzzFaults drives the fault-spec parser the same way: no input may panic
-// it, and accepted specs must survive Validate and Canonical.
+// it, accepted specs must survive Validate and Canonical, and Canonical
+// must be a fixed point — a drifting canonical form would fracture the
+// content-addressed result cache.
 func FuzzFaults(f *testing.F) {
 	for _, seed := range []string{
 		"g=0.1",
@@ -47,8 +50,20 @@ func FuzzFaults(f *testing.F) {
 		"r12p3",
 		"g=0.05;kill@5000=g0-4;repair@8000=g0-4",
 		"kill@0=r0p0,r1p1;g=0.9",
+		"router=5",
+		"router=3@1000-2000",
+		"router=5,12@1000-4000,0@2000",
+		"grp=2",
+		"grp=1:0-3",
+		"grp=2@500,1:3-0@100-900",
+		"flap@1000+200/50=g0-4",
+		"flap@0+100/40x3=l1:0-2,r0p3",
+		"grp=2@500;flap@1000+200/50x20=g0-4;router=7",
 		"g=-1", "g=2", "r-1p0", "g0-0", "l0:1-1", "kill@=g0-1",
 		"repair@99999999999999999999=g0-1", "@", "=;=",
+		"router=", "router=x@5", "router=1@-2", "grp=1:2-2", "grp=9",
+		"flap@1+2=g0-4", "flap@1+0/0=g0-4", "flap@1+100/200=g0-4",
+		"flap@1+100/50x0=g0-4", "flap@1+100/50x999999=g0-4",
 	} {
 		f.Add(seed)
 	}
@@ -66,7 +81,10 @@ func FuzzFaults(f *testing.F) {
 		if err := cfg.Validate(); err != nil {
 			return // out-of-range links etc. are Validate's job
 		}
-		_ = cfg.Canonical() // must not panic on validated specs
+		once := cfg.Canonical() // must not panic on validated specs
+		if !reflect.DeepEqual(once, once.Canonical()) {
+			t.Fatalf("Canonical of Faults(%q) is not a fixed point: %+v", spec, once.Faults)
+		}
 	})
 }
 

@@ -43,6 +43,7 @@ func (b *benchView) Faulty() bool             { return false }
 func (b *benchView) LinkDown(int) bool        { return false }
 func (b *benchView) RouteDown(int, int) bool  { return false }
 func (b *benchView) LocalDown(int, int) bool  { return false }
+func (b *benchView) PortDead(int) bool        { return false }
 
 // blockOutput makes (port, all VCs) unclaimable and congested, arming the
 // misrouting trigger against it.

@@ -55,6 +55,10 @@ type Plan struct {
 	// the engine (core's BuildPlan is never called for ejecting heads).
 	Eject     bool
 	EjectPort int16
+	// DestDead marks a head whose destination router has failed entirely
+	// under the routing view: no route can deliver it, so the engine
+	// drops it without a routing evaluation. Engine-owned, like Eject.
+	DestDead bool
 
 	forced      bool // a committed post-misroute hop: no adaptivity
 	dropNow     bool // statically unroutable under the current fault view
@@ -66,6 +70,7 @@ type Plan struct {
 	budgetOK    bool // a redirect hop still fits the local-hop budget
 	onEscape    bool // OFAR: head already rides the escape ring
 	ringDead    bool // OFAR: the ring output is dead under the fault view
+	ringSevered bool // OFAR: the ring successor router itself is dead
 
 	minPort, minVC int16
 	gvc, lvc       int16
@@ -343,6 +348,7 @@ func (o *ofar) BuildPlan(v View, st *PacketState, router, size int, r *rng.PCG, 
 	}
 	p.onEscape = st.OnEscape
 	p.ringDead = v.Faulty() && v.LinkDown(ringPort)
+	p.ringSevered = p.ringDead && v.PortDead(ringPort)
 }
 
 // RoutePlanned implements Algorithm for OFAR: the adaptive replay with the
@@ -364,8 +370,13 @@ func (o *ofar) RoutePlanned(v View, p *Plan, size int, r *rng.PCG) Decision {
 	}
 	if p.ringDead {
 		// The ring is severed here; with the adaptive routes dead too,
-		// the packet has no surviving way out.
-		if adaptiveDead {
+		// the packet has no surviving way out. When the severing fault is
+		// the ring successor router itself, shed blocked packets even if
+		// adaptive routes survive: the ring cannot circulate through a
+		// dead router, so this edge is the drain that keeps the bubble
+		// argument — and with it the rest of the escape subnetwork —
+		// alive for everyone upstream.
+		if adaptiveDead || p.ringSevered {
 			return dropDecision
 		}
 		return waitDecision

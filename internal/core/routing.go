@@ -160,6 +160,13 @@ type View interface {
 	// LocalDown reports whether the local link between router indices i
 	// and j of this router's group has failed.
 	LocalDown(i, j int) bool
+	// PortDead reports whether the far-end router of this router's
+	// output port has failed entirely (a whole-router fault, not just a
+	// severed cable). Link-level faults never set it; OFAR consults it
+	// to shed escape-ring traffic at a dead neighbor — a ring waiting on
+	// a dead router can never circulate again, so parking packets there
+	// would wedge the whole escape subnetwork.
+	PortDead(port int) bool
 }
 
 // Kind labels how a hop was chosen; the engine uses it for statistics and

@@ -65,6 +65,13 @@ func (f *fakeView) RouteDown(g, tg int) bool {
 func (f *fakeView) LocalDown(i, j int) bool {
 	return f.faults != nil && f.faults.LocalRouteDown(f.p.GroupOf(f.router), i, j)
 }
+func (f *fakeView) PortDead(port int) bool {
+	if f.faults == nil {
+		return false
+	}
+	far, _ := f.p.LinkTarget(f.router, port)
+	return f.faults.RouterDown(far)
+}
 
 func mustAlg(t *testing.T, spec Spec, p *topology.P) Algorithm {
 	t.Helper()

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -26,6 +27,28 @@ func faultedDeterminismConfig(t *testing.T, cfg Config) Config {
 		{At: 3400, Repair: true, Router: 5, Port: gp},
 	}
 	cfg.WindowCycles = 300 // exercise window merging (incl. FaultDrops)
+	return cfg
+}
+
+// routerFaultedDeterminismConfig layers a whole-router outage and a link
+// flap burst (the expanded form of a FlapSpec) onto the degraded base, so
+// parked-node suppression, dead-port masks spanning every port class and
+// storms of same-cycle plan invalidations face the worker-count check.
+func routerFaultedDeterminismConfig(t *testing.T, cfg Config) Config {
+	t.Helper()
+	cfg = faultedDeterminismConfig(t, cfg)
+	gp := cfg.Topo.GlobalPortBase()
+	events := append(cfg.FaultEvents,
+		FaultEvent{At: 1500, Router: 7, Port: WholeRouter},
+		FaultEvent{At: 3200, Repair: true, Router: 7, Port: WholeRouter})
+	for k := int64(0); k < 4; k++ { // four flap periods on router 2's first global port
+		at := 1600 + 300*k
+		events = append(events,
+			FaultEvent{At: at, Router: 2, Port: gp},
+			FaultEvent{At: at + 150, Repair: true, Router: 2, Port: gp})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	cfg.FaultEvents = events
 	return cfg
 }
 
@@ -106,6 +129,25 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 			cfg.StaleCycles = 500
 			return cfg
 		}},
+		{"VCT/OLM/routerfail+flap", func(t *testing.T) Config {
+			return routerFaultedDeterminismConfig(t, testConfig(t, 2, core.OLM, 0.3))
+		}},
+		{"WH/PB/routerfail+flap", func(t *testing.T) Config {
+			cfg := testConfig(t, 2, core.PB, 0.3)
+			cfg.Flow = WH
+			cfg.PacketPhits = 40
+			proc, err := traffic.NewBernoulli(0.3, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Process = proc
+			return routerFaultedDeterminismConfig(t, cfg)
+		}},
+		{"VCT/OFAR/routerfail+flap/stale", func(t *testing.T) Config {
+			cfg := routerFaultedDeterminismConfig(t, testConfig(t, 2, core.OFAR, 0.3))
+			cfg.StaleCycles = 250
+			return cfg
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -141,6 +183,11 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 			}
 			if serial.Faults != nil && a.FaultDrops == 0 {
 				t.Fatal("no fault drops; the faulted comparison proved nothing")
+			}
+			for _, ev := range serial.FaultEvents {
+				if ev.Port == WholeRouter && !ev.Repair && a.Suppressed == 0 {
+					t.Fatal("no suppressed injections; the router-failure comparison proved nothing")
+				}
 			}
 		})
 	}

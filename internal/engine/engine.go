@@ -22,6 +22,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync/atomic"
 
@@ -166,8 +167,10 @@ func (c *Config) validate() error {
 				i, ev.At, prevAt)
 		}
 		prevAt = ev.At
-		if ev.Router < 0 || ev.Router >= c.Topo.Routers ||
-			!(c.Topo.IsLocalPort(ev.Port) || c.Topo.IsGlobalPort(ev.Port)) {
+		if ev.Router < 0 || ev.Router >= c.Topo.Routers {
+			return fmt.Errorf("engine: fault event %d names no router (router %d)", i, ev.Router)
+		}
+		if ev.Port != WholeRouter && !(c.Topo.IsLocalPort(ev.Port) || c.Topo.IsGlobalPort(ev.Port)) {
 			return fmt.Errorf("engine: fault event %d names no link (router %d port %d)",
 				i, ev.Router, ev.Port)
 		}
@@ -181,9 +184,15 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// WholeRouter, used as a FaultEvent.Port, marks a whole-router event:
+// every link port of Router fails (or, with Repair, recovers) as one
+// event, and the router's attached nodes are parked (released) with it.
+const WholeRouter = -1
+
 // FaultEvent is one scheduled link state change: the full-duplex link on
 // (Router, Port) fails (or, with Repair, comes back) at the start of cycle
-// At. Events at or before cycle 0 are folded into the initial fault set.
+// At. Port WholeRouter fails or revives the whole router instead. Events
+// at or before cycle 0 are folded into the initial fault set.
 type FaultEvent struct {
 	At     int64
 	Repair bool
@@ -224,6 +233,19 @@ type Sim struct {
 	faults    *topology.FaultSet
 	faulted   bool
 	nextFault int // index of the first unapplied Config.FaultEvents entry
+
+	// hopLimit, when positive, drops any packet whose hop count exceeds
+	// it (the livelock guard for whole-router failures); zero for
+	// fault-free and link-only fault runs, whose behavior it must not
+	// touch.
+	hopLimit int32
+
+	// viewFaults shadows faults at the routing view's (possibly stale)
+	// event horizon, so the view loop can tell real link-state changes
+	// from no-ops — a repair landing under a still-dead endpoint router
+	// must not revive the link in the routing tables. Only allocated when
+	// events remain after the boot-time fold.
+	viewFaults *topology.FaultSet
 
 	// Routing-view fault tables: the link state the routing mechanisms
 	// see, recomputed incrementally in the serial section when (possibly
@@ -443,14 +465,39 @@ func New(cfg Config) (*Sim, error) {
 		// view too so the stale queue never replays them.
 		for s.nextFault < len(cfg.FaultEvents) && cfg.FaultEvents[s.nextFault].At <= 0 {
 			ev := cfg.FaultEvents[s.nextFault]
-			s.faults.SetLink(ev.Router, ev.Port, !ev.Repair)
+			if ev.Port == WholeRouter {
+				s.faults.SetRouter(ev.Router, !ev.Repair)
+			} else {
+				s.faults.SetLink(ev.Router, ev.Port, !ev.Repair)
+			}
 			s.nextFault++
 		}
 		s.nextRouteFault = s.nextFault
 		for id := range s.routers {
 			s.routers[id].deadPorts = s.faults.PortMask(id)
+			s.routers[id].parked = s.faults.RouterDown(id)
 		}
 		s.rebuildRouteView()
+		if s.nextRouteFault < len(cfg.FaultEvents) {
+			s.viewFaults = s.faults.Clone()
+		}
+		// Livelock guard, armed only for whole-router failures: a dead
+		// router severs OFAR's escape ring (losing its delivery
+		// guarantee) and can leave adaptive mechanisms bouncing a packet
+		// between live routers indefinitely. Packets exceeding a budget
+		// of several full escape-ring laps are shed as fault drops.
+		// Pure link faults leave the guard off, so legacy fault configs
+		// run bit-identically to builds without it.
+		if s.faults.DownRouters() > 0 {
+			s.hopLimit = int32(4*(p.Routers+p.Groups) + 64)
+		} else {
+			for _, ev := range cfg.FaultEvents[s.nextFault:] {
+				if ev.Port == WholeRouter {
+					s.hopLimit = int32(4*(p.Routers+p.Groups) + 64)
+					break
+				}
+			}
+		}
 	}
 	return s, nil
 }
@@ -459,6 +506,17 @@ func New(cfg Config) (*Sim, error) {
 // out of the current physical fault state: the full recomputation a fabric
 // manager performs at boot. Mid-run events use the incremental
 // applyRouteView instead.
+// viewRouterDead reports whether the routing view (stale by
+// Config.StaleCycles after fault events) considers router r entirely
+// failed. Link-level faults never report true here.
+func (s *Sim) viewRouterDead(r int) bool {
+	f := s.viewFaults
+	if f == nil {
+		f = s.faults
+	}
+	return f.RouterDown(r)
+}
+
 func (s *Sim) rebuildRouteView() {
 	p := s.topo
 	rpg := p.RoutersPerGroup
@@ -522,10 +580,20 @@ func (s *Sim) applyFaultEvents() {
 		if ev.At > s.cycle {
 			break
 		}
-		s.faults.SetLink(ev.Router, ev.Port, !ev.Repair)
-		s.routers[ev.Router].deadPorts = s.faults.PortMask(ev.Router)
-		rr, _ := s.topo.LinkTarget(ev.Router, ev.Port)
-		s.routers[rr].deadPorts = s.faults.PortMask(rr)
+		if ev.Port == WholeRouter {
+			changed := s.faults.SetRouter(ev.Router, !ev.Repair)
+			s.routers[ev.Router].parked = !ev.Repair
+			s.routers[ev.Router].deadPorts = s.faults.PortMask(ev.Router)
+			for m := changed; m != 0; m &= m - 1 {
+				rr, _ := s.topo.LinkTarget(ev.Router, bits.TrailingZeros64(m))
+				s.routers[rr].deadPorts = s.faults.PortMask(rr)
+			}
+		} else {
+			s.faults.SetLink(ev.Router, ev.Port, !ev.Repair)
+			s.routers[ev.Router].deadPorts = s.faults.PortMask(ev.Router)
+			rr, _ := s.topo.LinkTarget(ev.Router, ev.Port)
+			s.routers[rr].deadPorts = s.faults.PortMask(rr)
+		}
 		s.nextFault++
 	}
 	viewChanged := false
@@ -534,7 +602,19 @@ func (s *Sim) applyFaultEvents() {
 		if ev.At+s.cfg.StaleCycles > s.cycle {
 			break
 		}
-		s.applyRouteView(ev.Router, ev.Port, !ev.Repair)
+		// The shadow set decides which links actually changed state: a
+		// whole-router event touches only the ports with no other reason
+		// to be down, and a link repair under a dead endpoint is a no-op.
+		// Every processed event still counts as a view change below, so a
+		// same-cycle burst coalesces into one epoch bump (one plan
+		// rebuild) regardless of its composition.
+		if ev.Port == WholeRouter {
+			for m := s.viewFaults.SetRouter(ev.Router, !ev.Repair); m != 0; m &= m - 1 {
+				s.applyRouteView(ev.Router, bits.TrailingZeros64(m), !ev.Repair)
+			}
+		} else if s.viewFaults.SetLink(ev.Router, ev.Port, !ev.Repair) {
+			s.applyRouteView(ev.Router, ev.Port, !ev.Repair)
+		}
 		s.nextRouteFault++
 		viewChanged = true
 	}

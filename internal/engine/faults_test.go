@@ -70,9 +70,9 @@ func TestFaultConservationAllMechanisms(t *testing.T) {
 			for i := range sim.sheets {
 				sheet.Merge(&sim.sheets[i])
 			}
-			if sheet.Generated != sheet.Injected+sheet.InjectionLost {
-				t.Fatalf("generated %d != injected %d + lost %d",
-					sheet.Generated, sheet.Injected, sheet.InjectionLost)
+			if sheet.Generated != sheet.Injected+sheet.InjectionLost+sheet.Suppressed {
+				t.Fatalf("generated %d != injected %d + lost %d + suppressed %d",
+					sheet.Generated, sheet.Injected, sheet.InjectionLost, sheet.Suppressed)
 			}
 			_, live, _ := sim.totals()
 			if live != 0 {
@@ -117,6 +117,70 @@ func TestFaultConservationAllMechanisms(t *testing.T) {
 			// is exactly what the drop sink guarantees.
 			if spec == core.Minimal && sheet.FaultDrops == 0 {
 				t.Fatal("Minimal dropped nothing on a degraded network")
+			}
+		})
+	}
+}
+
+// TestParkedRouterConservation is the suppression side of the ledger: with
+// one router dead from cycle 0 and another killed mid-drain, generation
+// events at parked nodes are suppressed (counted, never injected),
+// ejections destined to parked nodes drop, the burst still drains, and the
+// conservation identity gains its fourth column:
+// generated == injected + injection-lost + suppressed.
+func TestParkedRouterConservation(t *testing.T) {
+	for _, spec := range []core.Spec{core.Minimal, core.OLM, core.OFAR} {
+		t.Run(spec.String(), func(t *testing.T) {
+			cfg := testConfig(t, 2, spec, 0)
+			f := topology.NewFaultSet(cfg.Topo)
+			f.SetRouter(3, true)
+			cfg.Faults = f
+			cfg.FaultEvents = []FaultEvent{{At: 300, Router: 8, Port: WholeRouter}}
+			burst, err := traffic.NewBurst(10, cfg.Topo.Nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Process = burst
+			cfg.Warmup, cfg.Measure = 0, 0
+			cfg.MaxCycles = 400000
+			sim, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Deadlock {
+				t.Fatal("parked-router burst deadlocked")
+			}
+			for i := 0; i < 3*cfg.LatGlobal; i++ {
+				sim.stepCycle()
+			}
+			var sheet metrics.Sheet
+			for i := range sim.sheets {
+				sheet.Merge(&sim.sheets[i])
+			}
+			// Router 3's nodes are parked for the whole run: their entire
+			// burst (h nodes × 10 packets) must be suppressed, plus whatever
+			// router 8's nodes had not injected by cycle 300.
+			min := int64(cfg.Topo.H * 10)
+			if sheet.Suppressed < min {
+				t.Fatalf("suppressed %d < %d (the parked router's full burst)", sheet.Suppressed, min)
+			}
+			if sheet.Generated != sheet.Injected+sheet.InjectionLost+sheet.Suppressed {
+				t.Fatalf("generated %d != injected %d + lost %d + suppressed %d",
+					sheet.Generated, sheet.Injected, sheet.InjectionLost, sheet.Suppressed)
+			}
+			if sheet.Injected != sheet.Delivered+sheet.FaultDrops {
+				t.Fatalf("injected %d != delivered %d + fault-dropped %d",
+					sheet.Injected, sheet.Delivered, sheet.FaultDrops)
+			}
+			if sheet.FaultDrops == 0 {
+				t.Fatal("no fault drops: traffic toward the parked routers must be shed")
+			}
+			if _, live, _ := sim.totals(); live != 0 {
+				t.Fatalf("%d packets still live after drain", live)
 			}
 		})
 	}

@@ -107,6 +107,12 @@ type router struct {
 	// Config.StaleCycles on every fault event (identical when zero),
 	// modeling stale fabric-manager link state.
 	routeDead uint64
+	// parked is true while this router is failed as a whole: its attached
+	// nodes suppress generation (counted separately from drops) and
+	// packets arriving for them are diverted to the drop sink. Tracks the
+	// FaultSet's router state exactly (no staleness: the router itself
+	// always knows it is dead); flipped only in the serial section.
+	parked bool
 	// pbCooldown is the number of upcoming cycles that must still refresh
 	// this router's Piggybacking bits: credit state changes are published
 	// into a double-buffered table, so after the last change both buffers
@@ -250,6 +256,14 @@ func (r *router) Faulty() bool { return r.eng.faulted }
 // LinkDown implements core.View: the routing view of this router's failed
 // output ports (stale by Config.StaleCycles after fault events).
 func (r *router) LinkDown(port int) bool { return r.routeDead&(1<<uint(port)) != 0 }
+
+// PortDead implements core.View: whether the far-end router of this
+// output port has failed entirely under the (possibly stale) routing
+// view. Link-level faults never report true here.
+func (r *router) PortDead(port int) bool {
+	far, _ := r.eng.topo.LinkTarget(r.id, port)
+	return r.eng.viewRouterDead(far)
+}
 
 // RouteDown implements core.View: the routing-view table of the single
 // global channel from group g to group tg — one indexed load into the
@@ -425,6 +439,17 @@ func (r *router) inject(cycle int64) {
 		node := e.topo.NodeID(r.id, k)
 		rnd := r.nodeRand[k]
 		if !np.process.Generate(node, cycle, rnd) {
+			continue
+		}
+		if r.parked {
+			// The node's router is dead: the generation event is
+			// suppressed at the source. It still consumes the process
+			// (finite bursts complete) and counts toward progress, so
+			// conservation holds as generated == injected + lost +
+			// suppressed and drain detection keeps working.
+			r.sheet.RecordSuppressed(cycle, int(np.phase))
+			np.process.Consume(node)
+			r.prog.generated++
 			continue
 		}
 		port := base + k
@@ -646,6 +671,16 @@ func (r *router) claimHead(cycle int64, port, vc int) {
 		if int(pkt.St.DstRouter) == r.id {
 			plan.Eject = true
 			plan.EjectPort = int16(pkt.St.DstEject)
+			plan.DestDead = false
+		} else if e.faulted && (e.viewRouterDead(int(pkt.St.DstRouter)) ||
+			(e.hopLimit > 0 && int32(pkt.St.LocalHops)+int32(pkt.St.GlobalHops) > e.hopLimit)) {
+			// The routing view knows the destination router failed
+			// entirely — no route can ever deliver this packet — or the
+			// packet blew the dead-router livelock budget (see hopLimit).
+			// Letting it wander (or park on OFAR's escape ring) would
+			// livelock. Skip the routing evaluation; it drops below.
+			plan.Eject = false
+			plan.DestDead = true
 		} else {
 			plan.Eject = false
 			r.curQueueOcc, r.curQueueCap = int(buf.used), int(buf.capacity)
@@ -658,8 +693,20 @@ func (r *router) claimHead(cycle int64, port, vc int) {
 	var dec core.Decision
 	if plan.Eject {
 		outPortIdx, outVC = int(plan.EjectPort), 0
+		if r.parked {
+			// Ejection to a parked node is a droppable verdict: the
+			// packet reached a dead router whose nodes cannot consume it,
+			// so it drains through the drop sink like any unroutable one.
+			outPortIdx = e.topo.Ports
+		}
 		if !r.CanClaim(outPortIdx, outVC, size) {
 			return
+		}
+	} else if plan.DestDead {
+		dec = core.Decision{Drop: true}
+		outPortIdx, outVC = e.topo.Ports, 0
+		if !r.CanClaim(outPortIdx, outVC, size) {
+			return // the sink is draining another packet; retry
 		}
 	} else {
 		r.curQueueOcc, r.curQueueCap = int(buf.used), int(buf.capacity)

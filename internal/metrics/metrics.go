@@ -33,6 +33,7 @@ type windowCell struct {
 	PhitsDelivered int64
 	Generated      int64
 	InjectionLost  int64
+	Suppressed     int64
 	FaultDrops     int64
 
 	TotalLatencySum float64
@@ -47,6 +48,7 @@ func (c *windowCell) merge(o *windowCell) {
 	c.PhitsDelivered += o.PhitsDelivered
 	c.Generated += o.Generated
 	c.InjectionLost += o.InjectionLost
+	c.Suppressed += o.Suppressed
 	c.FaultDrops += o.FaultDrops
 	c.TotalLatencySum += o.TotalLatencySum
 	c.LocalMis += o.LocalMis
@@ -85,6 +87,7 @@ func (c *windowCell) p99() float64 {
 type phaseCell struct {
 	Generated      int64
 	InjectionLost  int64
+	Suppressed     int64
 	Injected       int64
 	Delivered      int64
 	FaultDrops     int64
@@ -99,6 +102,7 @@ type phaseCell struct {
 func (c *phaseCell) merge(o *phaseCell) {
 	c.Generated += o.Generated
 	c.InjectionLost += o.InjectionLost
+	c.Suppressed += o.Suppressed
 	c.Injected += o.Injected
 	c.Delivered += o.Delivered
 	c.FaultDrops += o.FaultDrops
@@ -114,6 +118,7 @@ func (c *phaseCell) merge(o *phaseCell) {
 type Sheet struct {
 	Generated      int64 // packets created by the traffic process
 	InjectionLost  int64 // generation events dropped: injection queue full
+	Suppressed     int64 // generation events suppressed: source node parked
 	Injected       int64 // packets accepted into an injection queue
 	Delivered      int64 // packets fully consumed at their destination
 	FaultDrops     int64 // packets discarded in-network: no surviving route
@@ -263,10 +268,27 @@ func (s *Sheet) RecordInjectionLost(cycle int64, phase int) {
 	}
 }
 
+// RecordSuppressed accounts one generation event suppressed at cycle in
+// phase because the source node's router is dead (the node is parked).
+func (s *Sheet) RecordSuppressed(cycle int64, phase int) {
+	s.Generated++
+	s.Suppressed++
+	if s.windowWidth > 0 {
+		w := s.windowAt(cycle)
+		w.Generated++
+		w.Suppressed++
+	}
+	if c := s.phaseAt(phase); c != nil {
+		c.Generated++
+		c.Suppressed++
+	}
+}
+
 // Merge adds other into s.
 func (s *Sheet) Merge(other *Sheet) {
 	s.Generated += other.Generated
 	s.InjectionLost += other.InjectionLost
+	s.Suppressed += other.Suppressed
 	s.Injected += other.Injected
 	s.Delivered += other.Delivered
 	s.FaultDrops += other.FaultDrops
@@ -347,6 +369,7 @@ type Window struct {
 	Delivered     int64
 	Generated     int64
 	InjectionLost int64
+	Suppressed    int64
 	FaultDrops    int64
 }
 
@@ -385,6 +408,7 @@ type PhaseDigest struct {
 
 	Generated     int64
 	InjectionLost int64
+	Suppressed    int64
 	Delivered     int64
 	FaultDrops    int64
 }
@@ -417,6 +441,7 @@ func (s *Sheet) Timeline(totalCycles int64, nodes int) *Timeline {
 		w.Delivered = c.Delivered
 		w.Generated = c.Generated
 		w.InjectionLost = c.InjectionLost
+		w.Suppressed = c.Suppressed
 		w.FaultDrops = c.FaultDrops
 		if span := w.End - w.Start; span > 0 && nodes > 0 {
 			w.AcceptedLoad = float64(c.PhitsDelivered) / float64(span) / float64(nodes)
@@ -446,6 +471,7 @@ func (s *Sheet) PhaseDigests(infos []PhaseInfo, totalCycles int64) []PhaseDigest
 		d.Index = i
 		d.Generated = c.Generated
 		d.InjectionLost = c.InjectionLost
+		d.Suppressed = c.Suppressed
 		d.Delivered = c.Delivered
 		d.FaultDrops = c.FaultDrops
 		if i < len(infos) {
@@ -495,6 +521,9 @@ type Result struct {
 	Delivered     int64
 	Generated     int64
 	InjectionLost int64
+	// Suppressed counts generation events suppressed because the source
+	// node's router was dead at the time (zero without router failures).
+	Suppressed int64
 	// FaultDrops counts packets discarded in-network because link failures
 	// left them without a surviving route (zero on fault-free runs).
 	FaultDrops int64
@@ -522,6 +551,7 @@ func Digest(s *Sheet, cycles int64, nodes, localLinks, globalLinks int) Result {
 		Delivered:     s.Delivered,
 		Generated:     s.Generated,
 		InjectionLost: s.InjectionLost,
+		Suppressed:    s.Suppressed,
 		FaultDrops:    s.FaultDrops,
 	}
 	if cycles > 0 && nodes > 0 {

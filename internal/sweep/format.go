@@ -14,11 +14,12 @@ type Metric int
 
 // Metrics the paper's figures plot.
 const (
-	AcceptedLoad    Metric = iota // phits/(node·cycle)
-	TotalLatency                  // cycles, generation -> delivery
-	NetworkLatency                // cycles, injection -> delivery
-	ConsumptionTime               // kilocycles to drain a burst
-	FaultDropRate                 // fault drops per generated packet
+	AcceptedLoad     Metric = iota // phits/(node·cycle)
+	TotalLatency                   // cycles, generation -> delivery
+	NetworkLatency                 // cycles, injection -> delivery
+	ConsumptionTime                // kilocycles to drain a burst
+	FaultDropRate                  // fault drops per generated packet
+	DropSuppressRate               // fault drops + suppressed injections per generated packet
 )
 
 // String names the metric as the paper's axis labels do.
@@ -34,6 +35,8 @@ func (m Metric) String() string {
 		return "Burst consumption time (1000 cycles)"
 	case FaultDropRate:
 		return "Fault drops per generated packet"
+	case DropSuppressRate:
+		return "Fault drops + suppressed injections per generated packet"
 	}
 	return "unknown"
 }
@@ -59,6 +62,11 @@ func (m Metric) value(p Point) float64 {
 			return 0
 		}
 		return float64(p.Result.FaultDrops) / float64(p.Result.Generated)
+	case DropSuppressRate:
+		if p.Result.Generated == 0 {
+			return 0
+		}
+		return float64(p.Result.FaultDrops+p.Result.Suppressed) / float64(p.Result.Generated)
 	}
 	return math.NaN()
 }

@@ -15,6 +15,7 @@ import (
 
 	dragonfly "repro"
 	"repro/internal/exp"
+	"repro/internal/topology"
 )
 
 // Point is one simulated configuration together with its x-axis value.
@@ -161,6 +162,68 @@ func FaultSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, fractio
 		}).
 		Campaign("fault-sweep")
 	return exec(camp, newSeries(mechNames(mechanisms), len(fractions)), len(fractions), opt)
+}
+
+// DegradationSweep sweeps a composite failure severity for each mechanism
+// at the base config's load and traffic — the graceful-degradation figure.
+// Severity s kills router index 0 of groups 1..s from the start and flaps
+// the base pattern's pathological global channel (group 0's channel to
+// group h, the one ADVG+h traffic concentrates on) for s periods across
+// the measurement window, so the x axis escalates hard capacity loss and
+// routing-table churn together. Severity 0 is the pristine baseline.
+// Severities are clamped nowhere: callers keep s+1 <= 2h²+1 groups.
+func DegradationSweep(base dragonfly.Config, mechanisms []dragonfly.Mechanism, severities []int, opt Options) ([]Series, error) {
+	if len(mechanisms) == 0 || len(severities) == 0 {
+		return nil, fmt.Errorf("sweep: empty mechanism or severity list")
+	}
+	h := base.H
+	if h == 0 {
+		h = 4 // Config's documented default
+	}
+	p, err := topology.New(h)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	warmup, measure := base.Warmup, base.Measure
+	if warmup == 0 {
+		warmup = 3000
+	}
+	if measure == 0 {
+		measure = 6000
+	}
+	idx, port := p.GlobalPortOfChannel(p.ChannelToGroup(0, h))
+	flapLink := dragonfly.LinkID{Router: p.RouterID(0, idx), Port: port}
+	period := measure / 8
+	if period < 4 {
+		period = 4 // keep 0 < Down < Period for toy measurement windows
+	}
+	xs := make([]float64, len(severities))
+	for i, s := range severities {
+		xs[i] = float64(s)
+	}
+	camp := exp.NewMatrix(base).
+		Mechanisms(mechanisms...).
+		XAxis(xs, func(c *dragonfly.Config, x float64) {
+			s := int(x)
+			if s <= 0 {
+				c.Faults = nil
+				return
+			}
+			spec := &dragonfly.FaultSpec{}
+			for g := 1; g <= s && g < p.Groups; g++ {
+				spec.Routers = append(spec.Routers, dragonfly.RouterFault{Router: p.RouterID(g, 0)})
+			}
+			spec.Flaps = []dragonfly.FlapSpec{{
+				Link:   flapLink,
+				At:     warmup + period/2,
+				Period: period,
+				Down:   period / 2,
+				Count:  s,
+			}}
+			c.Faults = spec
+		}).
+		Campaign("degradation-sweep")
+	return exec(camp, newSeries(mechNames(mechanisms), len(severities)), len(severities), opt)
 }
 
 // ThresholdSweep sweeps the misrouting threshold for one mechanism over

@@ -3,31 +3,48 @@ package topology
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/rng"
 )
 
-// FaultSet tracks which links of a dragonfly are failed, as one output-port
-// bitmask per router. A link is a full-duplex physical channel: failing it
-// always removes both directions, so the masks of the two endpoint routers
-// stay symmetric. The engine mirrors these masks into its routers and
-// consults them on every route evaluation; the routing mechanisms see them
-// through core.View (link-state knowledge, the information a subnet manager
-// broadcasting failed links would give recomputed routing tables).
+// FaultSet tracks which links and routers of a dragonfly are failed. Link
+// state is one output-port bitmask per router. A link is a full-duplex
+// physical channel: failing it always removes both directions, so the masks
+// of the two endpoint routers stay symmetric. The engine mirrors these
+// masks into its routers and consults them on every route evaluation; the
+// routing mechanisms see them through core.View (link-state knowledge, the
+// information a subnet manager broadcasting failed links would give
+// recomputed routing tables).
+//
+// Faults are layered: the effective state of a link is down when the link
+// itself was failed (SetLink) or when either endpoint router is dead
+// (SetRouter). The two layers are tracked separately so repairing a router
+// revives exactly the links that have no other reason to stay down, and
+// repairing a link under a dead router leaves the port dead until the
+// router comes back.
 //
 // A FaultSet is plain data with no synchronization: the engine only mutates
 // it in the serial section between cycles.
 type FaultSet struct {
-	p    *P
-	down []uint64 // per-router output-port mask, bit set = link failed
+	p        *P
+	down     []uint64 // effective per-router mask: link failed or an endpoint dead
+	linkDown []uint64 // explicitly failed links only (SetLink layer)
+	dead     []bool   // whole-router failures (SetRouter layer)
 
-	downGlobal int // failed global links (physical, both directions = one)
-	downLocal  int // failed local links
+	downGlobal  int // effectively failed global links (both directions = one)
+	downLocal   int // effectively failed local links
+	downRouters int // dead routers
 }
 
-// NewFaultSet returns an all-links-alive fault set for topology p.
+// NewFaultSet returns an all-alive fault set for topology p.
 func NewFaultSet(p *P) *FaultSet {
-	return &FaultSet{p: p, down: make([]uint64, p.Routers)}
+	return &FaultSet{
+		p:        p,
+		down:     make([]uint64, p.Routers),
+		linkDown: make([]uint64, p.Routers),
+		dead:     make([]bool, p.Routers),
+	}
 }
 
 // Topology returns the dragonfly the set describes.
@@ -36,37 +53,32 @@ func (f *FaultSet) Topology() *P { return f.p }
 // Clone returns an independent copy.
 func (f *FaultSet) Clone() *FaultSet {
 	c := &FaultSet{
-		p:          f.p,
-		down:       make([]uint64, len(f.down)),
-		downGlobal: f.downGlobal,
-		downLocal:  f.downLocal,
+		p:           f.p,
+		down:        make([]uint64, len(f.down)),
+		linkDown:    make([]uint64, len(f.linkDown)),
+		dead:        make([]bool, len(f.dead)),
+		downGlobal:  f.downGlobal,
+		downLocal:   f.downLocal,
+		downRouters: f.downRouters,
 	}
 	copy(c.down, f.down)
+	copy(c.linkDown, f.linkDown)
+	copy(c.dead, f.dead)
 	return c
 }
 
-// SetLink fails (down=true) or repairs (down=false) the physical link
-// driven by the given output port of router r, in both directions. Setting
-// a link to its current state is a no-op. It panics on ejection ports,
-// which have no link.
-func (f *FaultSet) SetLink(r, port int, down bool) {
-	if !f.p.IsLocalPort(port) && !f.p.IsGlobalPort(port) {
-		panic(fmt.Sprintf("topology: SetLink(%d, %d): not a link port", r, port))
-	}
-	if f.Down(r, port) == down {
-		return
-	}
-	rr, rp := f.p.LinkTarget(r, port)
+// setEffective flips the effective state of the link (r, port)—(rr, rp) and
+// keeps the per-class counters in step. The caller guarantees the state
+// actually changes.
+func (f *FaultSet) setEffective(r, port, rr, rp int, down bool) {
 	bit, rbit := uint64(1)<<uint(port), uint64(1)<<uint(rp)
+	delta := 1
 	if down {
 		f.down[r] |= bit
 		f.down[rr] |= rbit
 	} else {
 		f.down[r] &^= bit
 		f.down[rr] &^= rbit
-	}
-	delta := 1
-	if !down {
 		delta = -1
 	}
 	if f.p.IsGlobalPort(port) {
@@ -76,12 +88,79 @@ func (f *FaultSet) SetLink(r, port int, down bool) {
 	}
 }
 
-// Down reports whether the link on output port of router r is failed.
+// SetLink fails (down=true) or repairs (down=false) the physical link
+// driven by the given output port of router r, in both directions. Setting
+// a link to its current explicit state is a no-op. It panics on ejection
+// ports, which have no link. The return value reports whether the
+// effective state of the link changed: repairing or failing a link whose
+// endpoint router is dead records the explicit state but leaves the link
+// effectively down, so callers mirroring the set into a routing view can
+// key on it.
+func (f *FaultSet) SetLink(r, port int, down bool) bool {
+	if !f.p.IsLocalPort(port) && !f.p.IsGlobalPort(port) {
+		panic(fmt.Sprintf("topology: SetLink(%d, %d): not a link port", r, port))
+	}
+	bit := uint64(1) << uint(port)
+	if f.linkDown[r]&bit != 0 == down {
+		return false
+	}
+	rr, rp := f.p.LinkTarget(r, port)
+	rbit := uint64(1) << uint(rp)
+	if down {
+		f.linkDown[r] |= bit
+		f.linkDown[rr] |= rbit
+	} else {
+		f.linkDown[r] &^= bit
+		f.linkDown[rr] &^= rbit
+	}
+	if f.dead[r] || f.dead[rr] {
+		return false // pinned down by the dead endpoint either way
+	}
+	f.setEffective(r, port, rr, rp, down)
+	return true
+}
+
+// SetRouter fails (down=true) or repairs (down=false) router r as a whole:
+// every link port of the router goes down with it (its ejection ports have
+// no link; the engine parks the attached nodes separately). Setting a
+// router to its current state is a no-op. The returned mask holds r's
+// ports whose effective link state changed — on repair, links that were
+// also explicitly failed or whose far endpoint is still dead stay down and
+// are not reported.
+func (f *FaultSet) SetRouter(r int, down bool) uint64 {
+	if f.dead[r] == down {
+		return 0
+	}
+	f.dead[r] = down
+	if down {
+		f.downRouters++
+	} else {
+		f.downRouters--
+	}
+	var changed uint64
+	for port := 0; port < f.p.EjectPortBase(); port++ {
+		rr, rp := f.p.LinkTarget(r, port)
+		bit := uint64(1) << uint(port)
+		effDown := f.linkDown[r]&bit != 0 || f.dead[r] || f.dead[rr]
+		if f.down[r]&bit != 0 == effDown {
+			continue
+		}
+		f.setEffective(r, port, rr, rp, effDown)
+		changed |= bit
+	}
+	return changed
+}
+
+// Down reports whether the link on output port of router r is effectively
+// failed (explicitly, or via a dead endpoint router).
 func (f *FaultSet) Down(r, port int) bool {
 	return f.down[r]&(1<<uint(port)) != 0
 }
 
-// PortMask returns router r's failed-port bitmask.
+// RouterDown reports whether router r is dead as a whole.
+func (f *FaultSet) RouterDown(r int) bool { return f.dead[r] }
+
+// PortMask returns router r's effective failed-port bitmask.
 func (f *FaultSet) PortMask(r int) uint64 { return f.down[r] }
 
 // DownGlobal and DownLocal count the failed physical links per class.
@@ -90,8 +169,13 @@ func (f *FaultSet) DownGlobal() int { return f.downGlobal }
 // DownLocal counts the failed local links.
 func (f *FaultSet) DownLocal() int { return f.downLocal }
 
-// Empty reports whether every link is alive.
-func (f *FaultSet) Empty() bool { return f.downGlobal == 0 && f.downLocal == 0 }
+// DownRouters counts the dead routers.
+func (f *FaultSet) DownRouters() int { return f.downRouters }
+
+// Empty reports whether every link and router is alive.
+func (f *FaultSet) Empty() bool {
+	return f.downGlobal == 0 && f.downLocal == 0 && f.downRouters == 0
+}
 
 // RouteDown reports whether the single global channel from group g to group
 // tg is failed. It is the group-pair reachability question every mechanism
@@ -124,25 +208,35 @@ func TotalLocalLinks(p *P) int {
 	return p.Groups * p.RoutersPerGroup * (p.RoutersPerGroup - 1) / 2
 }
 
-// Connected reports whether every router can still reach every other over
-// the surviving links. Configurations that fail this check cannot be
-// simulated meaningfully (some traffic has no path at all), so callers
-// reject them up front.
-func (f *FaultSet) Connected() bool {
+// Partition probes reachability over the surviving links. Dead routers are
+// out of the network by definition (every link port is down) and do not
+// count as unreachable: the network is partitioned when two LIVE routers
+// cannot reach each other. On a partition it returns a witness pair (a, b)
+// — the BFS root and the first live router it cannot reach — for
+// diagnostics; when every router is dead it returns (-1, -1, true).
+func (f *FaultSet) Partition() (a, b int, partitioned bool) {
 	p := f.p
+	start := -1
+	for r := 0; r < p.Routers; r++ {
+		if !f.dead[r] {
+			start = r
+			break
+		}
+	}
+	if start < 0 {
+		return -1, -1, true
+	}
 	seen := make([]bool, p.Routers)
 	queue := make([]int, 0, p.Routers)
-	seen[0] = true
-	queue = append(queue, 0)
+	seen[start] = true
+	queue = append(queue, start)
 	visited := 1
 	for len(queue) > 0 {
 		r := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for port := 0; port < p.EjectPortBase(); port++ {
-			if f.Down(r, port) {
-				continue
-			}
-			rr, _ := p.LinkTarget(r, port)
+		up := ^f.down[r] & (1<<uint(p.EjectPortBase()) - 1)
+		for m := up; m != 0; m &= m - 1 {
+			rr, _ := p.LinkTarget(r, bits.TrailingZeros64(m))
 			if !seen[rr] {
 				seen[rr] = true
 				visited++
@@ -150,7 +244,52 @@ func (f *FaultSet) Connected() bool {
 			}
 		}
 	}
-	return visited == p.Routers
+	if visited == p.Routers-f.downRouters {
+		return 0, 0, false
+	}
+	for r := 0; r < p.Routers; r++ {
+		if !seen[r] && !f.dead[r] {
+			return start, r, true
+		}
+	}
+	return 0, 0, false // unreachable: the counts guarantee a witness
+}
+
+// Connected reports whether every live router can still reach every other
+// over the surviving links. Configurations that fail this check cannot be
+// simulated meaningfully (some traffic has no path at all), so callers
+// reject them up front.
+func (f *FaultSet) Connected() bool {
+	_, _, partitioned := f.Partition()
+	return !partitioned
+}
+
+// StateKey returns an exact byte encoding of the effective fault state
+// (link masks plus dead-router flags). Two sets over the same topology
+// share a key iff they are indistinguishable to routing, so event-schedule
+// validators can dedupe connectivity checks across repeated states — flap
+// schedules revisit the same handful of states thousands of times.
+func (f *FaultSet) StateKey() string {
+	buf := make([]byte, 0, 8*len(f.down)+(len(f.dead)+7)/8)
+	for _, m := range f.down {
+		buf = append(buf,
+			byte(m), byte(m>>8), byte(m>>16), byte(m>>24),
+			byte(m>>32), byte(m>>40), byte(m>>48), byte(m>>56))
+	}
+	var acc byte
+	for i, d := range f.dead {
+		if d {
+			acc |= 1 << uint(i%8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, acc)
+			acc = 0
+		}
+	}
+	if len(f.dead)%8 != 0 {
+		buf = append(buf, acc)
+	}
+	return string(buf)
 }
 
 // RandomFaults fails a deterministic pseudo-random selection of links in f:
