@@ -7,6 +7,12 @@
 // execution) so successive BENCH_<n>.json files track the engine's
 // performance trajectory over time.
 //
+// With -scale, a second matrix of large-network points is appended:
+// h ∈ {8, 12, 16} (the paper's full size and the two beyond-paper scale
+// presets) under OLM, uniform traffic at 5% load and the paper's link
+// latencies, across workers ∈ {1, 2, 4, 8}, each point also reporting
+// heap_bytes — the live heap of the built network.
+//
 // The matrix is built and driven by internal/exp; the orchestrator runs
 // one point at a time by default (wall-clock timing stays clean), with
 // -parallel for smoke runs where timing fidelity does not matter.
@@ -61,6 +67,12 @@ type Point struct {
 	AllocBytes uint64 `json:"alloc_bytes"`
 	Allocs     uint64 `json:"allocs"`
 
+	// HeapBytes is the live heap after the run (runtime.GC + HeapAlloc)
+	// with the simulator still reachable — the resident cost of the
+	// network state. Only the -scale points report it; for the tiny fixed
+	// matrix the number is all Go runtime, not router state.
+	HeapBytes uint64 `json:"heap_bytes,omitempty"`
+
 	AcceptedLoad float64 `json:"accepted_load"`
 	Deadlock     bool    `json:"deadlock"`
 }
@@ -84,6 +96,7 @@ func main() {
 	baseline := flag.String("baseline", "", "previous report to compare sim_cycles_per_sec against")
 	maxRegress := flag.Float64("maxregress", 0.30, "median regression fraction that fails a -baseline comparison")
 	verbose := flag.Bool("v", false, "print each point as it completes")
+	scale := flag.Bool("scale", false, "append the large-network scale matrix (h in {8,12,16}, workers in {1,2,4,8})")
 	flag.Parse()
 	if *reps < 1 {
 		*reps = 1
@@ -236,6 +249,12 @@ func main() {
 		})
 	}
 
+	if *scale {
+		pts, err := runScale(ctx, *reps, *verbose)
+		fatalIf(err)
+		rep.Points = append(rep.Points, pts...)
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	fatalIf(err)
 	buf = append(buf, '\n')
@@ -255,6 +274,116 @@ func main() {
 	if *baseline != "" && !compareBaseline(cmpOut, rep, *baseline, *maxRegress) {
 		os.Exit(1)
 	}
+}
+
+// Scale-matrix run lengths. Shorter than the fixed matrix because each
+// cycle moves three to forty times more routers; long enough that the
+// per-cycle work dwarfs the loop overhead being measured.
+const (
+	scaleWarmup  = 200
+	scaleMeasure = 600
+)
+
+// runScale measures the large-network scale matrix: the paper's h = 8
+// system plus the beyond-paper h = 12 and h = 16 presets, OLM under
+// uniform traffic at 5% load with the paper's 10/100-cycle latencies,
+// across worker counts. These points track how the engine behaves at
+// sizes where memory layout and parallel stepping actually matter; they
+// additionally report heap_bytes, the live heap of the built network.
+func runScale(ctx context.Context, reps int, verbose bool) ([]Point, error) {
+	hs := []int{dragonfly.PaperH, dragonfly.ScaleH12, dragonfly.ScaleH16}
+	workerSet := []int{1, 2, 4, 8}
+
+	base := dragonfly.ScaleVCT(hs[0])
+	base.Warmup, base.Measure, base.Seed = scaleWarmup, scaleMeasure, 1
+	base.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
+	base.Load = 0.05
+	camp := exp.NewMatrix(base).
+		Axis(len(hs),
+			func(i int) string { return fmt.Sprintf("h=%d", hs[i]) },
+			func(c *dragonfly.Config, i int) { c.H = hs[i] }).
+		Mechanisms(dragonfly.OLM).
+		Axis(len(workerSet),
+			func(i int) string { return fmt.Sprintf("w=%d", workerSet[i]) },
+			func(c *dragonfly.Config, i int) { c.Workers = workerSet[i] }).
+		Campaign("dfbench-scale")
+
+	walls := make([]float64, len(camp.Points))
+	cycles := make([]int64, len(camp.Points))
+	heap := make([]uint64, len(camp.Points))
+	opt := exp.Options{
+		// Strictly one point at a time: a second h=16 network in flight
+		// would double the peak heap and corrupt both timings.
+		Workers: 1,
+		Run: func(ctx context.Context, index int, p exp.Point) (dragonfly.Result, error) {
+			var best dragonfly.Result
+			var ms runtime.MemStats
+			for i := 0; i < reps; i++ {
+				sim, err := dragonfly.Prepare(p.Config)
+				if err != nil {
+					return dragonfly.Result{}, err
+				}
+				start := time.Now()
+				res, err := sim.RunContext(ctx)
+				wall := time.Since(start).Seconds()
+				if err != nil {
+					return dragonfly.Result{}, err
+				}
+				// Live heap with the simulator still reachable: what the
+				// network state costs, lazily-allocated buffers included.
+				runtime.GC()
+				runtime.ReadMemStats(&ms)
+				if i == 0 || wall < walls[index] {
+					walls[index], cycles[index], best = wall, sim.Cycles(), res
+					heap[index] = ms.HeapAlloc
+				}
+				runtime.KeepAlive(sim)
+			}
+			return best, nil
+		},
+	}
+	if verbose {
+		opt.Progress = func(pr exp.Progress) {
+			o := pr.Outcome
+			if o.Err != nil {
+				fmt.Fprintf(os.Stderr, "[scale %d/%d] %s: %v\n", pr.Done, pr.Total, o.Point.Series, o.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[scale %d/%d] %s: %.0f cycles/s, %.0f MiB\n",
+				pr.Done, pr.Total, o.Point.Series,
+				float64(cycles[o.Index])/walls[o.Index], float64(heap[o.Index])/(1<<20))
+		}
+	}
+	outs, err := exp.Run(ctx, camp, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := exp.PointErrors(outs); err != nil {
+		return nil, err
+	}
+	pts := make([]Point, 0, len(outs))
+	for _, o := range outs {
+		cfg, res := o.Point.Config, o.Result
+		pts = append(pts, Point{
+			H:         cfg.H,
+			Flow:      cfg.FlowControl.String(),
+			Mechanism: res.Mechanism,
+			Pattern:   res.Pattern,
+			Load:      cfg.Load,
+			Workers:   cfg.Workers,
+
+			Cycles:       cycles[o.Index],
+			WallSeconds:  walls[o.Index],
+			CyclesPerSec: float64(cycles[o.Index]) / walls[o.Index],
+			PhitsMoved:   res.PhitsMoved,
+			PhitsPerSec:  float64(res.PhitsMoved) / walls[o.Index],
+			HeapBytes:    heap[o.Index],
+
+			AcceptedLoad: res.AcceptedLoad,
+			Deadlock:     res.Deadlock,
+		})
+	}
+	return pts, nil
 }
 
 // pointKey identifies a matrix point across reports.

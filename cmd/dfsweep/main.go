@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		h         = flag.Int("h", 4, "dragonfly parameter")
+		h         = flag.Int("h", 4, "dragonfly parameter (paper: 8; scale presets: 12, 16)")
 		mechs     = flag.String("mechs", "Minimal,PiggyBacking,PAR-6/2,RLM,OLM", "comma-separated mechanisms")
 		flow      = flag.String("flow", "VCT", "flow control: VCT or WH")
 		trafficK  = flag.String("traffic", "UN", "traffic pattern: UN, ADVG, ADVL, MIX")

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		h         = flag.Int("h", 4, "dragonfly parameter (paper: 8)")
+		h         = flag.Int("h", 4, "dragonfly parameter (paper: 8; scale presets: 12, 16)")
 		mech      = flag.String("mech", "OLM", "routing mechanism: Minimal, Valiant, PiggyBacking, PAR-6/2, RLM, OLM, RLM-signonly, OFAR")
 		flow      = flag.String("flow", "VCT", "flow control: VCT or WH")
 		packet    = flag.Int("packet", 0, "packet size in phits (default: 8 for VCT, 80 for WH)")

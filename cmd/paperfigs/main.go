@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -52,7 +53,7 @@ func main() {
 	var (
 		h        = flag.Int("h", 4, "dragonfly parameter (paper: 8)")
 		out      = flag.String("out", "results", "output directory")
-		figsFlag = flag.String("figs", "4,5,6,7,8,9,10,11,transient,resilience", "figures to regenerate")
+		figsFlag = flag.String("figs", "4,5,6,7,8,9,10,11,transient,resilience", `figures to regenerate ("scaling" — the engine-throughput panels up to h=16 — is opt-in: it needs ~2.5 GiB and tens of minutes)`)
 		tmechs   = flag.String("tmechs", "Minimal,Valiant,PiggyBacking,OLM", "mechanisms of the transient traffic-change figure")
 		tload    = flag.Float64("tload", 0.2, "offered load of the transient traffic-change figure")
 		rmechs   = flag.String("rmechs", "Minimal,Valiant,PiggyBacking,OLM", "mechanisms of the resilience figure")
@@ -142,6 +143,9 @@ func main() {
 		ms, err := cliutil.Mechanisms(*rmechs)
 		fatalIf(err)
 		fatalIf(e.figResilience(ms, *rload))
+	}
+	if want["scaling"] {
+		fatalIf(e.figScaling(ctx))
 	}
 	fmt.Fprintf(e.summary, "\nTotal regeneration time: %s.\n", time.Since(start).Round(time.Second))
 	sumPath := filepath.Join(*out, "summary.md")
@@ -509,6 +513,109 @@ func (e *env) figResilience(mechs []dragonfly.Mechanism, load float64) error {
 	return e.writePanel("figresilience_d_degradation_droprate",
 		fmt.Sprintf("Fault-drop + suppressed-injection rate vs. failure severity, ADVG+%d h=%d", e.rh, e.rh),
 		"Failure severity", sweep.DropSuppressRate, dseries)
+}
+
+// figScaling measures the engine itself rather than the mechanisms: panel
+// (a) plots simulated cycles per second against the network size h — the
+// paper's h=8 flanked by toy sizes and the beyond-paper h=12 and h=16
+// presets — one series per worker count; panel (b) plots the live heap
+// per node of the built network (workers do not change it). OLM under
+// uniform traffic at 5% load with the paper's link latencies, run lengths
+// short enough that h=16 stays in minutes: these are engine-throughput
+// curves, not mechanism results, and 800 cycles of a quarter-million-node
+// network average over plenty of work. Each point is timed one at a time
+// (never through the worker pool) and reports the fastest of two runs.
+func (e *env) figScaling(ctx context.Context) error {
+	hs := []int{2, 4, dragonfly.PaperH, dragonfly.ScaleH12, dragonfly.ScaleH16}
+	workerSet := []int{1, 2, 4, 8}
+	const (
+		scaleWarmup  = 200
+		scaleMeasure = 600
+		scaleReps    = 2
+	)
+	cps := make(map[[2]int]float64)
+	bytesPerNode := make(map[int]float64)
+	for _, h := range hs {
+		_, nodes, _, err := dragonfly.NetworkSize(h)
+		if err != nil {
+			return err
+		}
+		for _, w := range workerSet {
+			cfg := dragonfly.ScaleVCT(h)
+			cfg.Warmup, cfg.Measure, cfg.Seed = scaleWarmup, scaleMeasure, e.seed
+			cfg.Traffic = dragonfly.Traffic{Kind: dragonfly.UN}
+			cfg.Load = 0.05
+			cfg.Workers = w
+			var best float64
+			var heap uint64
+			var res dragonfly.Result
+			for r := 0; r < scaleReps; r++ {
+				sim, err := dragonfly.Prepare(cfg)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				rr, err := sim.RunContext(ctx)
+				wall := time.Since(start).Seconds()
+				if err != nil {
+					return err
+				}
+				// Live heap with the simulator still reachable: the
+				// resident cost of the network state, lazy buffers
+				// included.
+				var ms runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&ms)
+				if r == 0 || wall < best {
+					best, heap, res = wall, ms.HeapAlloc, rr
+					cps[[2]int{h, w}] = float64(sim.Cycles()) / wall
+				}
+				runtime.KeepAlive(sim)
+			}
+			if w == 1 {
+				bytesPerNode[h] = float64(heap) / float64(nodes)
+			}
+			if e.opt.Progress != nil {
+				e.opt.Progress(fmt.Sprintf("scaling h=%d w=%d", h, w),
+					sweep.Point{X: float64(h), Result: res})
+			}
+		}
+	}
+
+	a, err := os.Create(filepath.Join(e.outDir, "figscaling_a_cyclespersec.dat"))
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	fmt.Fprintf(a, "# x: h (network size; nodes = h*2h*(2h^2+1))\n# y: Simulated cycles per second\n")
+	for _, w := range workerSet {
+		fmt.Fprintf(a, "\n# series: workers=%d\n", w)
+		for _, h := range hs {
+			fmt.Fprintf(a, "%d\t%g\n", h, cps[[2]int{h, w}])
+		}
+	}
+	b, err := os.Create(filepath.Join(e.outDir, "figscaling_b_bytespernode.dat"))
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	fmt.Fprintf(b, "# x: h (network size)\n# y: Live heap per node (bytes), workers=1\n\n# series: heap/node\n")
+	for _, h := range hs {
+		fmt.Fprintf(b, "%d\t%g\n", h, bytesPerNode[h])
+	}
+
+	fmt.Fprintf(e.summary, "## figscaling — engine throughput and memory vs. network size (OLM, UN@0.05)\n\n")
+	fmt.Fprintf(e.summary, "| h | nodes | cycles/s w=1 | w=2 | w=4 | w=8 | heap bytes/node |\n|---|---|---|---|---|---|---|\n")
+	for _, h := range hs {
+		_, nodes, _, _ := dragonfly.NetworkSize(h)
+		fmt.Fprintf(e.summary, "| %d | %d |", h, nodes)
+		for _, w := range workerSet {
+			fmt.Fprintf(e.summary, " %.0f |", cps[[2]int{h, w}])
+		}
+		fmt.Fprintf(e.summary, " %.0f |\n", bytesPerNode[h])
+	}
+	fmt.Fprintln(e.summary)
+	return nil
 }
 
 // burstRatios appends the paper's burst headline numbers: each mechanism's

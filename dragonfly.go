@@ -332,7 +332,11 @@ type Config struct {
 	// (16,512 nodes); h=4 is a fast reduced-scale default.
 	H int
 
-	Mechanism   Mechanism
+	// Mechanism selects the routing mechanism under test (default
+	// Minimal; see Mechanisms for the full roster).
+	Mechanism Mechanism
+	// FlowControl selects virtual cut-through or wormhole switching
+	// (default VCT, the paper's Section IV-A environment).
 	FlowControl FlowControl
 
 	// PacketPhits is the packet size: 8 in the paper's VCT experiments,
@@ -357,6 +361,7 @@ type Config struct {
 	LatLocal        int // local link latency, cycles (default 10)
 	LatGlobal       int // global link latency, cycles (default 100)
 
+	// Traffic selects the traffic pattern (default UN, uniform random).
 	Traffic Traffic
 	// Load is the offered load in phits/(node·cycle) for steady-state
 	// (Bernoulli) experiments.
@@ -406,12 +411,22 @@ type Config struct {
 	Warmup  int64 // steady-state warmup cycles (default 3000)
 	Measure int64 // steady-state measured cycles (default 6000)
 
-	Seed    uint64
-	Workers int // intra-simulation parallelism (default 1; results are
-	// identical for any worker count)
+	// Seed seeds every random stream in the run (traffic, fault
+	// sampling, routing tie-breaks); equal configurations with equal
+	// seeds reproduce bit-identical results.
+	Seed uint64
+	// Workers is the parallel-stepping width (default 1, serial). The
+	// engine clamps it to runtime.GOMAXPROCS(0) and to the router count;
+	// results are bit-identical for any value, so it is purely a
+	// wall-clock knob and Canonical() drops it from the cache key.
+	Workers int
 
-	MaxCycles int64 // burst safety bound
-	Watchdog  int64 // deadlock watchdog quiet-cycle threshold
+	// MaxCycles bounds burst-mode runs that fail to drain (default
+	// 50×(Warmup+Measure+20000)).
+	MaxCycles int64
+	// Watchdog is how many cycles without forward progress declare a
+	// deadlock (default 20000).
+	Watchdog int64
 }
 
 // Result is the digest of one run; fields mirror the paper's reported

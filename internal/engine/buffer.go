@@ -18,7 +18,11 @@ type vcBuffer struct {
 	capacity int32 // phits
 	used     int32 // phits currently held
 
-	entries []fifoEntry // ring
+	// entries is the entry ring, allocated on the first push (entN slots;
+	// see ringEntries): on a large fabric most VC buffers never see a
+	// packet, and their rings would dominate the idle memory footprint.
+	entries []fifoEntry
+	entN    int32
 	head    int
 	count   int
 	tail    int // ring index of the newest entry; meaningless when count == 0
@@ -39,11 +43,11 @@ func ringEntries(capacityPhits, packetPhits int) int {
 	return capacityPhits/packetPhits + 3
 }
 
-// init sizes the buffer over the given entry ring (see ringEntries); the
-// rings of all of a router's buffers share one backing array.
-func (b *vcBuffer) init(capacityPhits int, entries []fifoEntry) {
+// init sizes the buffer: capacity in phits and ring size in entries (see
+// ringEntries). The ring itself is allocated by the first push.
+func (b *vcBuffer) init(capacityPhits, entN int) {
 	b.capacity = int32(capacityPhits)
-	b.entries = entries
+	b.entN = int32(entN)
 	b.head = 0
 	b.count = 0
 }
@@ -83,6 +87,9 @@ func (b *vcBuffer) pushPhit(pkt *Packet) (newEntry bool) {
 			return false
 		}
 	}
+	if b.entries == nil {
+		b.entries = make([]fifoEntry, b.entN)
+	}
 	if b.count == len(b.entries) {
 		panic(fmt.Sprintf("engine: vcBuffer ring overflow (cap %d phits, %d entries)",
 			b.capacity, b.count))
@@ -98,8 +105,11 @@ func (b *vcBuffer) pushPhit(pkt *Packet) (newEntry bool) {
 // pushWholePacket enqueues a fully present packet (used by injection
 // queues, where serialization happens on the crossbar instead).
 func (b *vcBuffer) pushWholePacket(pkt *Packet) {
-	if b.count == len(b.entries) || b.used+pkt.Size > b.capacity {
+	if b.count == int(b.entN) || b.used+pkt.Size > b.capacity {
 		panic("engine: pushWholePacket without space")
+	}
+	if b.entries == nil {
+		b.entries = make([]fifoEntry, b.entN)
 	}
 	i := b.wrap(b.head + b.count)
 	b.entries[i] = fifoEntry{pkt: pkt, arrived: pkt.Size}
@@ -110,7 +120,7 @@ func (b *vcBuffer) pushWholePacket(pkt *Packet) {
 
 // hasSpaceFor reports whether a whole packet of size phits fits now.
 func (b *vcBuffer) hasSpaceFor(size int32) bool {
-	return b.used+size <= b.capacity && b.count < len(b.entries)
+	return b.used+size <= b.capacity && b.count < int(b.entN)
 }
 
 // takePhit accounts one phit of the head entry leaving the buffer and

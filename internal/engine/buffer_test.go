@@ -4,7 +4,7 @@ import "testing"
 
 func TestBufferPushTake(t *testing.T) {
 	var b vcBuffer
-	b.init(32, make([]fifoEntry, ringEntries(32, 8)))
+	b.init(32, ringEntries(32, 8))
 	p := &Packet{ID: 1, Size: 8}
 	for i := 0; i < 8; i++ {
 		b.pushPhit(p)
@@ -28,7 +28,7 @@ func TestBufferPushTake(t *testing.T) {
 
 func TestBufferFIFOOrder(t *testing.T) {
 	var b vcBuffer
-	b.init(32, make([]fifoEntry, ringEntries(32, 8)))
+	b.init(32, ringEntries(32, 8))
 	p1 := &Packet{ID: 1, Size: 8}
 	p2 := &Packet{ID: 2, Size: 8}
 	for i := 0; i < 8; i++ {
@@ -54,7 +54,7 @@ func TestBufferFIFOOrder(t *testing.T) {
 func TestBufferCutThroughInterleaving(t *testing.T) {
 	// A packet can start leaving while still arriving.
 	var b vcBuffer
-	b.init(32, make([]fifoEntry, ringEntries(32, 8)))
+	b.init(32, ringEntries(32, 8))
 	p := &Packet{ID: 1, Size: 8}
 	b.pushPhit(p)
 	if _, tail := b.takePhit(); tail {
@@ -73,7 +73,7 @@ func TestBufferCutThroughInterleaving(t *testing.T) {
 
 func TestBufferSpaceAccounting(t *testing.T) {
 	var b vcBuffer
-	b.init(16, make([]fifoEntry, ringEntries(16, 8)))
+	b.init(16, ringEntries(16, 8))
 	if !b.hasSpaceFor(8) {
 		t.Fatal("fresh buffer rejects a packet")
 	}
@@ -86,7 +86,7 @@ func TestBufferSpaceAccounting(t *testing.T) {
 
 func TestBufferTakeFromEmptyPanics(t *testing.T) {
 	var b vcBuffer
-	b.init(8, make([]fifoEntry, ringEntries(8, 8)))
+	b.init(8, ringEntries(8, 8))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("takePhit on empty buffer did not panic")
@@ -97,7 +97,7 @@ func TestBufferTakeFromEmptyPanics(t *testing.T) {
 
 func TestBufferTakeBeyondArrivedPanics(t *testing.T) {
 	var b vcBuffer
-	b.init(8, make([]fifoEntry, ringEntries(8, 8)))
+	b.init(8, ringEntries(8, 8))
 	p := &Packet{ID: 1, Size: 8}
 	b.pushPhit(p)
 	b.takePhit()

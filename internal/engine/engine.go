@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -59,8 +60,13 @@ type Config struct {
 	LatLocal        int // local link latency in cycles (paper: 10)
 	LatGlobal       int // global link latency in cycles (paper: 100)
 
-	Seed    uint64
-	Workers int // parallel execution shards; <=1 runs serially
+	Seed uint64
+	// Workers is the requested parallel-stepping width; <=1 runs serially.
+	// The engine clamps it to runtime.GOMAXPROCS(0) (extra workers on an
+	// oversubscribed machine only pay barrier cost) and to the router
+	// count. The clamp never changes results: serial and N-worker
+	// execution are bit-identical by contract.
+	Workers int
 
 	// Workload, when non-nil, drives injection: each node follows the
 	// phase schedule of its workload job. When nil, Pattern and Process
@@ -99,6 +105,12 @@ type Config struct {
 
 	MaxCycles int64 // burst mode safety bound (0 = 50x warm+measure)
 	Watchdog  int64 // quiet cycles before declaring deadlock (0 = 20000)
+
+	// NoFastForward disables the whole-fabric quiet-cycle fast-forward
+	// (see Sim.tryFastForward). The fast-forward is bit-identical by
+	// construction; this switch exists so tests and benchmarks can compare
+	// against the cycle-by-cycle path.
+	NoFastForward bool
 }
 
 // setDefaults fills unset fields with the paper's defaults.
@@ -150,7 +162,7 @@ func (c *Config) validate() error {
 		// The activity bitmasks (router.claimPorts, router.xferPorts)
 		// hold one bit per port, and the fault-drop sink claims bit
 		// Topo.Ports; 63 ports covers every dragonfly up to h=16
-		// (131,585 routers), far beyond simulatable sizes.
+		// (16,416 routers, 262,656 nodes).
 		return fmt.Errorf("engine: %d ports per router exceeds the 63-port activity-mask limit", c.Topo.Ports)
 	}
 	if c.Faults != nil && c.Faults.Topology().Routers != c.Topo.Routers {
@@ -202,13 +214,36 @@ type FaultEvent struct {
 
 // progress holds one worker's incrementally-maintained progress counters.
 // The per-cycle watchdog reads their sum instead of re-scanning every
-// router. Padded so workers never share a cache line.
+// router. occ and inflight are deltas: routers may migrate between workers
+// when shards rebalance, so one worker's counter can go negative — only
+// the sum over all workers is meaningful (and exact). Padded so workers
+// never share a cache line.
 type progress struct {
 	moved     int64 // crossbar phit movements (all-time)
 	live      int64 // injected minus delivered packets
 	generated int64 // all-time injected packets
-	_         [5]int64
+	occ       int64 // buffered packet entries currently held
+	inflight  int64 // phits + credits in flight (sends minus receipts)
+	_         [3]int64
 }
+
+// simShard is one contiguous router range of the parallel executor. The
+// owning worker accumulates activity (routers seen with buffered work per
+// cycle); the serial section periodically reassigns shards to workers by
+// that observed load (see rebalanceShards).
+type simShard struct {
+	lo, hi   int
+	activity int64
+}
+
+const (
+	// shardsPerWorker decouples shard granularity from worker count:
+	// more, smaller shards give the load balancer room to move work
+	// without splitting dragonfly groups.
+	shardsPerWorker = 4
+	// rebalanceInterval is the cycle period of shard reassignment.
+	rebalanceInterval = 1024
+)
 
 // Sim is an instantiated simulation. A Sim runs once; build a new one per
 // experiment point.
@@ -223,8 +258,26 @@ type Sim struct {
 	pbPublished [][]bool
 	pbNext      [][]bool
 
+	// workers is the effective parallel width: Config.Workers clamped to
+	// runtime.GOMAXPROCS(0) and the router count at build time.
+	workers  int
 	sheets   []metrics.Sheet // one per worker
 	progress []progress      // one per worker
+
+	// shards and assign belong to the parallel executor: assign[w] lists
+	// the shard indices worker w steps. Both are mutated only in the
+	// serial section between cycles (rebalanceShards); the cycle barrier
+	// publishes the updates to the workers.
+	shards []simShard
+	assign [][]int32
+
+	// Quiet-cycle fast-forward state: ffCursor holds per-job phase
+	// cursors for the eligibility scan, ffRescanAt suppresses rescans
+	// until the cycle a failed scan said anything could change, and
+	// ffJumped counts cycles skipped (observability for tests and tools).
+	ffCursor   []int32
+	ffRescanAt int64
+	ffJumped   int64
 
 	// faults is the live link-failure state (a private clone of
 	// Config.Faults), mutated only between cycles; faulted is true as soon
@@ -319,6 +372,16 @@ func New(cfg Config) (*Sim, error) {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 	}
+	// Effective worker count: more workers than CPUs only adds barrier
+	// latency (results are identical at any width, so the clamp is free),
+	// and more workers than routers leaves some idle.
+	workers := cfg.Workers
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if workers > p.Routers {
+		workers = p.Routers
+	}
 	s := &Sim{
 		cfg:        cfg,
 		topo:       p,
@@ -326,8 +389,10 @@ func New(cfg Config) (*Sim, error) {
 		workload:   w,
 		pbEnabled:  cfg.Spec == core.PB,
 		routers:    make([]router, p.Routers),
-		sheets:     make([]metrics.Sheet, cfg.Workers),
-		progress:   make([]progress, cfg.Workers),
+		workers:    workers,
+		sheets:     make([]metrics.Sheet, workers),
+		progress:   make([]progress, workers),
+		ffCursor:   make([]int32, len(w.Jobs)),
 		routeEpoch: 1, // zero-valued plans are invalid by construction
 	}
 	if cfg.Faults != nil || len(cfg.FaultEvents) > 0 {
@@ -356,6 +421,17 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 
+	// One arena for every router's arrival-schedule slots, laid out in
+	// router (and therefore shard) order: the cross-worker-written slots
+	// stay out of the router structs' cache lines, and building a large
+	// fabric costs one allocation instead of one per router.
+	maxLat := cfg.LatLocal
+	if cfg.LatGlobal > maxLat {
+		maxLat = cfg.LatGlobal
+	}
+	slotsPer := arrivalSlotCount(maxLat)
+	arrSlots := make([]arrivalSlot, p.Routers*slotsPer)
+
 	for id := range s.routers {
 		r := &s.routers[id]
 		r.id = id
@@ -380,41 +456,34 @@ func New(cfg Config) (*Sim, error) {
 		r.pktSize = cfg.PacketPhits
 		r.needHeadFull = probe.UsesHeadArrival()
 		// Router-wide backing arrays for all ports' credit counters,
-		// transfer slots, input VC buffers, ring entries and head plans:
-		// the claim and streaming paths then walk contiguous memory
-		// instead of one allocation per port.
+		// transfer slots, input VC buffers and head plans: the claim and
+		// streaming paths then walk contiguous memory instead of one
+		// allocation per port. VC entry rings are allocated lazily on
+		// first use (see vcBuffer), so a buffer no traffic ever reaches
+		// costs only its header — the bulk of a large fabric's idle state.
 		linkVCs := p.LocalPorts*localVCs + p.GlobalPorts*globalVCs
 		inVCs := linkVCs + p.H
 		injCap := cfg.InjQueuePackets * cfg.PacketPhits
-		totalEnts := p.LocalPorts*localVCs*ringEntries(cfg.BufLocal, cfg.PacketPhits) +
-			p.GlobalPorts*globalVCs*ringEntries(cfg.BufGlobal, cfg.PacketPhits) +
-			p.H*ringEntries(injCap, cfg.PacketPhits)
 		creditsAll := make([]int32, linkVCs)
 		transfersAll := make([]transfer, linkVCs+p.H+1)
 		vcsAll := make([]vcBuffer, inVCs)
-		entsAll := make([]fifoEntry, totalEnts)
 		r.plans = make([]core.Plan, inVCs)
 		r.planOff = make([]int32, p.Ports)
 		r.out[p.Ports].transfers = transfersAll[len(transfersAll)-1:]
-		vcOff, entOff := 0, 0
+		vcOff := 0
 		takeVCs := func(n, capPhits int) []vcBuffer {
 			vcs := vcsAll[vcOff : vcOff+n : vcOff+n]
 			vcOff += n
 			entN := ringEntries(capPhits, cfg.PacketPhits)
 			for i := range vcs {
-				vcs[i].init(capPhits, entsAll[entOff:entOff+entN:entOff+entN])
-				entOff += entN
+				vcs[i].init(capPhits, entN)
 			}
 			return vcs
 		}
 		r.claimVCs = make([]uint16, p.Ports)
 		r.phaseCur = make([]int32, len(w.Jobs))
 		r.nodePhase = make([]nodePhase, p.H)
-		maxLat := cfg.LatLocal
-		if cfg.LatGlobal > maxLat {
-			maxLat = cfg.LatGlobal
-		}
-		r.arrivals = newArrivalSchedule(maxLat, cfg.Workers <= 1)
+		r.arrivals.init(arrSlots[id*slotsPer:(id+1)*slotsPer:(id+1)*slotsPer], workers <= 1)
 		off := 0
 		for port := 0; port < p.Ports; port++ {
 			r.planOff[port] = int32(vcOff)
@@ -451,9 +520,9 @@ func New(cfg Config) (*Sim, error) {
 			r.out[port].link = l
 			rr, rp := p.LinkTarget(id, port)
 			s.routers[rr].in[rp].link = l
-			l.phitSched = s.routers[rr].arrivals
+			l.phitSched = &s.routers[rr].arrivals
 			l.phitPort = int16(rp)
-			l.creditSched = r.arrivals
+			l.creditSched = &r.arrivals
 			l.creditPort = int16(port)
 		}
 	}
@@ -669,6 +738,104 @@ func (s *Sim) totals() (moved, live, generated int64) {
 	return
 }
 
+// fabricEmpty reports whether the whole network holds no state that can
+// act next cycle: no buffered packet entries anywhere and no phits or
+// credits in flight on any link. Both sums are maintained incrementally
+// per worker, so the check is O(workers). When true, the next cycle can
+// only run injection (and Piggybacking cooldown publishes) — the premise
+// behind both barrier elision and the quiet-cycle fast-forward.
+func (s *Sim) fabricEmpty() bool {
+	var occ, inflight int64
+	for i := range s.progress {
+		occ += s.progress[i].occ
+		inflight += s.progress[i].inflight
+	}
+	return occ == 0 && inflight == 0
+}
+
+// tryFastForward jumps the clock over a provably-dead span: the fabric is
+// empty (caller checked fabricEmpty) and, when every node is idle or its
+// active phase is a finite process with nothing left to send, stepping the
+// intervening cycles would not draw a single RNG value or touch any state
+// except the cycle counter. The jump lands on the earliest cycle at which
+// anything can change — a workload phase transition, a fault event (at
+// both its physical and stale routing-view horizons), or the caller's
+// limit (warmup boundary, end of run) — so results stay bit-identical to
+// the cycle-by-cycle path. Ineligible scans cache the cycle before which
+// nothing can make them eligible (ffRescanAt), keeping the quiet-path
+// overhead amortized.
+func (s *Sim) tryFastForward(limit int64) {
+	if s.cfg.NoFastForward || s.cycle >= limit-1 || s.cycle < s.ffRescanAt {
+		return
+	}
+	target := limit
+	w := s.workload
+	for ji := range w.Jobs {
+		pi, active := w.PhaseAt(ji, s.cycle, &s.ffCursor[ji])
+		if active {
+			proc := w.Jobs[ji].Phases[pi].Process
+			if !proc.Finite() {
+				// A steady process draws from its nodes' RNG streams every
+				// cycle; no cycle may be skipped until this phase ends.
+				if nc := w.NextChange(ji, s.cycle); nc >= 0 {
+					s.ffRescanAt = nc
+				} else {
+					s.ffRescanAt = limit
+				}
+				return
+			}
+			// Finite and exhausted processes draw no randomness. A node
+			// with packets left while the fabric is empty can only be
+			// parked (suppression consumes one packet per cycle without
+			// touching the network) — keep stepping until it drains.
+			j := &w.Jobs[ji]
+			for node := j.First; node <= j.Last; node++ {
+				if !proc.Done(node) {
+					s.ffRescanAt = s.cycle + 64
+					return
+				}
+			}
+		}
+		if nc := w.NextChange(ji, s.cycle); nc >= 0 && nc < target {
+			target = nc
+		}
+	}
+	if s.nextFault < len(s.cfg.FaultEvents) {
+		if at := s.cfg.FaultEvents[s.nextFault].At; at < target {
+			target = at
+		}
+	}
+	if s.nextRouteFault < len(s.cfg.FaultEvents) {
+		if at := s.cfg.FaultEvents[s.nextRouteFault].At + s.cfg.StaleCycles; at < target {
+			target = at
+		}
+	}
+	if target <= s.cycle+1 {
+		return
+	}
+	if s.pbEnabled {
+		// Piggybacking cooldowns still owe table writes; with the fabric
+		// empty they drain within two idle steps, then the jump proceeds.
+		for i := range s.routers {
+			if s.routers[i].pbCooldown > 0 {
+				s.ffRescanAt = s.cycle + 1
+				return
+			}
+		}
+	}
+	s.ffJumped += target - s.cycle
+	s.cycle = target
+	// Fault events due exactly at the target apply now, in the same
+	// serial-section order finishCycle would have used.
+	if s.pendingFaultEvents() {
+		s.applyFaultEvents()
+	}
+}
+
+// FastForwarded returns the number of cycles the quiet-cycle fast-forward
+// skipped (for tests and tooling). Valid after Run.
+func (s *Sim) FastForwarded() int64 { return s.ffJumped }
+
 // lastDelivery returns the latest delivery cycle across routers.
 func (s *Sim) lastDelivery() int64 {
 	var last int64 = -1
@@ -710,7 +877,7 @@ func (s *Sim) RunContext(ctx context.Context) (metrics.Result, error) {
 
 	var stop func()
 	step := s.stepCycle
-	if s.cfg.Workers > 1 {
+	if s.workers > 1 {
 		step, stop = s.startWorkers()
 		defer stop()
 	}
@@ -806,6 +973,16 @@ func (s *Sim) runSteady(ctx context.Context, step func()) (bool, error) {
 			quiet = 0
 		}
 		lastMoved = moved
+		if live == 0 && s.fabricEmpty() {
+			// Provably-dead span: jump to the next possible event, never
+			// past the warmup boundary (resetSheets must run exactly there)
+			// or the end of the run.
+			bound := total
+			if s.cycle < s.cfg.Warmup {
+				bound = s.cfg.Warmup
+			}
+			s.tryFastForward(bound)
+		}
 	}
 	return false, nil
 }
@@ -849,6 +1026,17 @@ func (s *Sim) runBurst(ctx context.Context, step func()) (bool, error) {
 		}
 		lastMoved = moved
 		lastGenerated = generated
+		if live == 0 && s.cycle <= lastChange && s.fabricEmpty() {
+			// Quiet gap between finite phases: jump to the next phase
+			// transition. Never past the last transition — the cut-short
+			// drain detection above must observe the cycles beyond it
+			// exactly as the cycle-by-cycle path would.
+			bound := lastChange
+			if s.cfg.MaxCycles < bound {
+				bound = s.cfg.MaxCycles
+			}
+			s.tryFastForward(bound)
+		}
 	}
 	return true, nil
 }
@@ -896,52 +1084,145 @@ func (b *cycleBarrier) await(gen *atomic.Uint64, last uint64) uint64 {
 	}
 }
 
-// startWorkers launches persistent shard workers and returns a step
-// function driving one barrier-synchronized cycle, plus a stop function.
-func (s *Sim) startWorkers() (step func(), stop func()) {
-	n := s.cfg.Workers
-	if n > len(s.routers) {
-		n = len(s.routers)
+// stepShards steps every router of worker w's assigned shards for the
+// current cycle, accumulating per-shard activity (routers holding buffered
+// work) for the load balancer.
+func (s *Sim) stepShards(w int) {
+	cycle := s.cycle
+	for _, si := range s.assign[w] {
+		sh := &s.shards[si]
+		act := int64(0)
+		for i := sh.lo; i < sh.hi; i++ {
+			if s.routers[i].occupied != 0 {
+				act++
+			}
+			s.routers[i].step(cycle)
+		}
+		sh.activity += act
 	}
-	bounds := s.shardBounds(n)
-	b := &cycleBarrier{}
-	for w := 0; w < n; w++ {
-		for i := bounds[w]; i < bounds[w+1]; i++ {
-			s.routers[i].sheet = &s.sheets[w]
-			s.routers[i].prog = &s.progress[w]
+}
+
+// pinShards points every router's metrics sheet and progress counters at
+// its owning worker's. Called before stepping starts and after every
+// reassignment, always in the serial section: sheet merging and the
+// progress deltas are order-independent sums, so re-pinning mid-run never
+// changes results.
+func (s *Sim) pinShards() {
+	for w := range s.assign {
+		for _, si := range s.assign[w] {
+			sh := &s.shards[si]
+			for i := sh.lo; i < sh.hi; i++ {
+				s.routers[i].sheet = &s.sheets[w]
+				s.routers[i].prog = &s.progress[w]
+			}
 		}
 	}
-	// Shard 0 runs on the calling goroutine, so only n-1 workers are
+}
+
+// rebalanceShards reassigns shards to workers by observed activity:
+// longest-processing-time-first over the accumulated per-shard counters,
+// ties broken by shard index so the assignment is deterministic. The
+// counters then decay by half, making the signal a moving average that
+// follows workload phase changes. Runs only in the serial section.
+func (s *Sim) rebalanceShards() {
+	n := len(s.assign)
+	order := make([]int32, len(s.shards))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.shards[order[a]].activity > s.shards[order[b]].activity
+	})
+	load := make([]int64, n)
+	for w := range s.assign {
+		s.assign[w] = s.assign[w][:0]
+	}
+	for _, si := range order {
+		min := 0
+		for w := 1; w < n; w++ {
+			if load[w] < load[min] {
+				min = w
+			}
+		}
+		// The +1 keeps zero-activity shards spreading round-robin instead
+		// of all piling onto one worker after an idle stretch.
+		load[min] += s.shards[si].activity + 1
+		s.assign[min] = append(s.assign[min], si)
+		s.shards[si].activity >>= 1
+	}
+	for w := range s.assign {
+		// Ascending shard order keeps each worker walking router memory
+		// forward even when its shards are scattered.
+		sort.Slice(s.assign[w], func(a, b int) bool { return s.assign[w][a] < s.assign[w][b] })
+	}
+	s.pinShards()
+}
+
+// startWorkers launches persistent shard workers and returns a step
+// function driving one barrier-synchronized cycle, plus a stop function.
+// Shard count is decoupled from worker count (shardsPerWorker per worker,
+// group-aligned when possible) so rebalanceShards can shift load at a
+// finer grain than whole worker ranges.
+func (s *Sim) startWorkers() (step func(), stop func()) {
+	n := s.workers
+	sc := n * shardsPerWorker
+	if sc > len(s.routers) {
+		sc = len(s.routers)
+	}
+	bounds := s.shardBounds(sc)
+	s.shards = make([]simShard, sc)
+	for i := range s.shards {
+		s.shards[i] = simShard{lo: bounds[i], hi: bounds[i+1]}
+	}
+	s.assign = make([][]int32, n)
+	for w := 0; w < n; w++ {
+		for si := w * sc / n; si < (w+1)*sc/n; si++ {
+			s.assign[w] = append(s.assign[w], int32(si))
+		}
+	}
+	s.pinShards()
+	b := &cycleBarrier{}
+	// Shard set 0 runs on the calling goroutine, so only n-1 workers are
 	// launched and no goroutine ever just spins through a whole cycle.
 	for w := 1; w < n; w++ {
-		go func(lo, hi int) {
+		go func(w int) {
 			var seen uint64
 			for {
 				seen = b.await(&b.startGen, seen)
 				if b.quit.Load() {
 					return
 				}
-				cycle := s.cycle
-				for i := lo; i < hi; i++ {
-					s.routers[i].step(cycle)
-				}
+				s.stepShards(w)
 				if b.arrived.Add(1) == int32(n-1) {
 					b.arrived.Store(0)
 					b.doneGen.Add(1)
 				}
 			}
-		}(bounds[w], bounds[w+1])
+		}(w)
 	}
 	step = func() {
+		if s.fabricEmpty() {
+			// Barrier elision: with nothing buffered and nothing in
+			// flight, this cycle is injection-only — cheaper to step
+			// serially than to wake and re-join every worker. The workers
+			// stay parked in await; the next barrier release publishes
+			// whatever this goroutine wrote.
+			for i := range s.routers {
+				s.routers[i].step(s.cycle)
+			}
+			s.finishCycle()
+			return
+		}
 		done := b.doneGen.Load()
 		b.startGen.Add(1)
-		for i := bounds[0]; i < bounds[1]; i++ {
-			s.routers[i].step(s.cycle)
-		}
+		s.stepShards(0)
 		if n > 1 {
 			b.await(&b.doneGen, done)
 		}
 		s.finishCycle()
+		if s.cycle&(rebalanceInterval-1) == 0 {
+			s.rebalanceShards()
+		}
 	}
 	stop = func() {
 		b.quit.Store(true)

@@ -61,12 +61,24 @@ type arrivalSlot struct {
 	credits uint64
 }
 
-func newArrivalSchedule(maxLatency int, serial bool) *arrivalSchedule {
+// arrivalSlotCount returns the power-of-two ring length covering the
+// maximum link latency (see arrivalSchedule).
+func arrivalSlotCount(maxLatency int) int {
 	n := 1
 	for n < maxLatency+2 {
 		n <<= 1
 	}
-	return &arrivalSchedule{slots: make([]arrivalSlot, n), mask: int64(n - 1), serial: serial}
+	return n
+}
+
+// init points the schedule at its slot ring — a slice of the simulation's
+// shard-ordered slot arena, so the cross-worker-written slots of all
+// routers live in one allocation away from the routers' single-writer hot
+// state.
+func (s *arrivalSchedule) init(slots []arrivalSlot, serial bool) {
+	s.slots = slots
+	s.mask = int64(len(slots) - 1)
+	s.serial = serial
 }
 
 // addPhit records a phit arriving at the given input port and cycle.
@@ -121,6 +133,13 @@ type creditSlot struct {
 	valid bool
 }
 
+// newLink builds a link header. The phit and credit rings are allocated
+// lazily on first send: a long-latency global link costs hundreds of slots,
+// and on a large fabric under light load most links never carry anything.
+// Laziness is race-free because each ring has exactly one writer (the phit
+// sender, respectively the credit sender), the allocating side, and the
+// reader only looks after an arrival was announced — at least one cycle
+// barrier after the allocating write.
 func newLink(latency int) *link {
 	if latency < 1 {
 		latency = 1
@@ -132,13 +151,14 @@ func newLink(latency int) *link {
 	return &link{
 		latency: latency,
 		mask:    int64(n - 1),
-		phits:   make([]phitSlot, n),
-		credits: make([]creditSlot, n),
 	}
 }
 
 // sendPhit schedules a phit to arrive at now+latency.
 func (l *link) sendPhit(now int64, pkt *Packet, vc int) {
+	if l.phits == nil {
+		l.phits = make([]phitSlot, l.mask+1)
+	}
 	s := &l.phits[(now+int64(l.latency))&l.mask]
 	if s.pkt != nil {
 		panic("engine: phit slot collision")
@@ -163,6 +183,9 @@ func (l *link) recvPhit(now int64) (pkt *Packet, vc int) {
 
 // sendCredit schedules a credit to arrive at the sender at now+latency.
 func (l *link) sendCredit(now int64, vc int) {
+	if l.credits == nil {
+		l.credits = make([]creditSlot, l.mask+1)
+	}
 	s := &l.credits[(now+int64(l.latency))&l.mask]
 	if s.valid {
 		panic("engine: credit slot collision")

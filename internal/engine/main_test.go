@@ -1,0 +1,19 @@
+package engine
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS so the worker-count determinism matrix
+// exercises the real parallel executor even on single-CPU machines: the
+// engine clamps Config.Workers to GOMAXPROCS (extra workers only pay
+// barrier cost), so without the raise every "4 workers" subtest would
+// silently take the serial path and the comparisons would prove nothing.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}

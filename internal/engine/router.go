@@ -82,10 +82,11 @@ type router struct {
 	// router by arrival cycle. Senders fill it inside sendPhit/sendCredit
 	// (they know the arrival cycle at send time); step drains the current
 	// cycle's slot and skips the absorb scan entirely when it is empty.
-	// It is the only cross-router-written state, and it lives in its own
-	// allocation so remote workers' increments never invalidate the cache
-	// lines of this struct's single-writer hot fields.
-	arrivals *arrivalSchedule
+	// The slots are the only cross-router-written state; they live in the
+	// simulation's shard-ordered slot arena (this header is read-only
+	// after construction), so remote workers' writes never invalidate the
+	// cache lines of this struct's single-writer hot fields.
+	arrivals arrivalSchedule
 	// occupied counts packet entries across all input VC buffers
 	// (injection queues included). Nonzero occupied covers every local
 	// work source: unclaimed heads, active transfers, packets streaming.
@@ -347,9 +348,11 @@ func (r *router) absorb(cycle int64, phits, credits uint64) {
 		if pkt == nil {
 			panic(fmt.Sprintf("engine: phit arrival bit without a phit at router %d in port %d", r.id, i))
 		}
+		r.prog.inflight--
 		buf := &ip.vcs[vc]
 		if buf.pushPhit(pkt) {
 			r.occupied++
+			r.prog.occ++
 		}
 		if !buf.claimed {
 			r.markClaimable(i, vc)
@@ -358,6 +361,7 @@ func (r *router) absorb(cycle int64, phits, credits uint64) {
 	for m := credits; m != 0; m &= m - 1 {
 		i := bits.TrailingZeros64(m)
 		op := &r.out[i]
+		r.prog.inflight--
 		vc, ok := op.link.recvCredit(cycle)
 		if !ok {
 			panic(fmt.Sprintf("engine: credit arrival bit without a credit at router %d out port %d", r.id, i))
@@ -471,6 +475,7 @@ func (r *router) inject(cycle int64) {
 		pkt.St.Init(e.topo, node, dst)
 		q.pushWholePacket(pkt)
 		r.occupied++
+		r.prog.occ++
 		if !q.claimed {
 			r.markClaimable(port, 0)
 		}
@@ -536,6 +541,7 @@ func (r *router) trySendPhit(cycle int64, port, vc int) bool {
 			op.credits[vc]--
 		}
 		op.link.sendPhit(cycle, t.pkt, vc)
+		r.prog.inflight++
 		if op.global {
 			r.sheet.GlobalLinkPhits++
 		} else {
@@ -549,6 +555,7 @@ func (r *router) trySendPhit(cycle int64, port, vc int) bool {
 	// The phit left the input buffer: return a credit upstream.
 	if up := r.in[t.inPort].link; up != nil {
 		up.sendCredit(cycle, int(t.inVC))
+		r.prog.inflight++
 	}
 	if tail {
 		t.active = false
@@ -559,6 +566,7 @@ func (r *router) trySendPhit(cycle int64, port, vc int) bool {
 			r.xferPorts &^= 1 << uint(port)
 		}
 		r.occupied--
+		r.prog.occ--
 		// takePhit released the buffer's claim; its next head (if any)
 		// becomes claimable.
 		if !buf.empty() {

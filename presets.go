@@ -45,6 +45,32 @@ func PaperWH(h int) Config {
 	}
 }
 
+// Scale presets beyond the paper.
+//
+// The paper stops at h = 8. The sizes below follow the same a = 2h,
+// p = h construction: h = 12 is a 289-group, 83,232-node system and
+// h = 16 — the largest size the engine's 63-port activity masks admit —
+// is a 513-group, 262,656-node system. Router state at these sizes is
+// dominated by per-VC buffers and link rings, which the engine allocates
+// lazily on first use, so a low-load h = 16 run fits in a few GiB; see
+// docs/PERFORMANCE.md for the memory model.
+
+// ScaleH12 is the h = 12 scale preset size (6,936 routers, 83,232 nodes).
+const ScaleH12 = 12
+
+// ScaleH16 is the h = 16 scale preset size (16,416 routers, 262,656
+// nodes), the largest dragonfly this engine supports.
+const ScaleH16 = 16
+
+// ScaleVCT returns the Section IV-A environment scaled past the paper to
+// size h (use ScaleH12 or ScaleH16). It is PaperVCT's configuration —
+// only the network is larger.
+func ScaleVCT(h int) Config { return PaperVCT(h) }
+
+// ScaleWH returns the Section IV-B wormhole environment scaled past the
+// paper to size h (use ScaleH12 or ScaleH16).
+func ScaleWH(h int) Config { return PaperWH(h) }
+
 // PaperBurstVCT is the number of packets per node in the VCT burst
 // experiment (Figure 6b).
 const PaperBurstVCT = 1000
