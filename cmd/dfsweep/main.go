@@ -8,6 +8,12 @@
 //	dfsweep -h 4 -mechs RLM,OLM,Valiant -traffic ADVG -offset 1 \
 //	        -loads 0.05,0.1,0.2,0.3,0.4,0.5 -metric accepted -format md \
 //	        -cache ~/.cache/dfsweep -jsonl points.jsonl
+//
+// With -remote the campaign executes on a dragonsrv server instead of
+// in-process; output — including -jsonl — is byte-identical to a local
+// run of the same sweep:
+//
+//	dfsweep -h 4 -mechs RLM,OLM -loads 0.1,0.3 -remote http://127.0.0.1:8080
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	dragonfly "repro"
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/exp/srv"
 	"repro/internal/sweep"
 )
 
@@ -40,7 +47,8 @@ func main() {
 		measure   = flag.Int64("measure", 4000, "measured cycles")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		par       = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cacheDir  = flag.String("cache", "", "result cache directory (empty = no cache)")
+		remote    = flag.String("remote", "", "execute on a dragonsrv server at this base URL (e.g. http://127.0.0.1:8080) instead of in-process")
+		cacheDir  = flag.String("cache", "", "result cache directory (empty = no cache; ignored with -remote)")
 		jsonlOut  = flag.String("jsonl", "", "stream per-point JSONL results to this file")
 		quiet     = flag.Bool("q", false, "suppress progress lines")
 	)
@@ -70,7 +78,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opt := sweep.Options{Parallelism: *par, Context: ctx}
-	if *cacheDir != "" {
+	var client *srv.Client
+	if *remote != "" {
+		client = srv.NewClient(*remote)
+		opt.Remote = client
+	}
+	if *cacheDir != "" && *remote == "" {
 		cache, err := exp.OpenCache(*cacheDir)
 		fatalIf(err)
 		opt.Cache = cache
@@ -118,6 +131,11 @@ func main() {
 	if opt.Cache != nil {
 		hits, misses := opt.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", hits, misses)
+	}
+	if client != nil {
+		st := client.LastStatus()
+		fmt.Fprintf(os.Stderr, "remote: campaign %s: %d simulated, %d from store, %d deduped\n",
+			st.ID, st.Executed, st.FromStore, st.Deduped)
 	}
 	// Per-point failures were reported by the progress callback as they
 	// happened; the joined error decides the exit code after the partial

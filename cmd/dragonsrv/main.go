@@ -1,0 +1,142 @@
+// Command dragonsrv serves internal/exp as a long-running campaign
+// service: clients POST campaigns to its HTTP/JSON API (dfsweep and
+// paperfigs do so via -remote), identical points submitted concurrently
+// share one simulation, and finished results persist in a size-bounded
+// LRU store so warm resubmissions execute zero simulations. Progress
+// streams over SSE; / serves a plain-HTML results browser.
+//
+//	dragonsrv -addr :8080 -store ~/.cache/dragonsrv -maxstore 512MiB
+//
+// SIGTERM or SIGINT drains gracefully: new submissions are rejected,
+// queued points that have not started fail fast, in-flight simulations
+// finish and persist, JSONL mirrors are flushed, and the process exits
+// 0. A second signal — or the -draintimeout deadline — aborts the
+// remaining simulations instead of waiting for them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/exp/srv"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		storeDir     = flag.String("store", ".dragonsrv", "result store directory")
+		maxStore     = flag.String("maxstore", "", `store size budget with LRU eviction, e.g. "512MiB", "2GiB" or a byte count (empty = unbounded)`)
+		sims         = flag.Int("sims", 0, "max concurrent simulations across all campaigns (0 = GOMAXPROCS)")
+		jsonlDir     = flag.String("jsonldir", "", "mirror each campaign's canonical JSONL to this directory (empty = off)")
+		drainTimeout = flag.Duration("draintimeout", 15*time.Minute, "how long a drain waits for in-flight simulations before aborting them")
+		quiet        = flag.Bool("q", false, "suppress operational log lines")
+	)
+	flag.Parse()
+
+	maxBytes, err := parseBytes(*maxStore)
+	fatalIf(err)
+	store, err := exp.OpenStore(*storeDir, maxBytes)
+	fatalIf(err)
+
+	logger := log.New(os.Stderr, "dragonsrv: ", log.LstdFlags)
+	cfg := srv.Config{Store: store, SimWorkers: *sims, JSONLDir: *jsonlDir}
+	if !*quiet {
+		cfg.Log = logger
+	}
+	server, err := srv.New(cfg)
+	fatalIf(err)
+
+	ln, err := net.Listen("tcp", *addr)
+	fatalIf(err)
+	hs := &http.Server{Handler: server.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	logger.Printf("listening on %s (store %s, budget %s)", ln.Addr(), *storeDir, budgetString(maxBytes))
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigs:
+		logger.Printf("%s: draining (timeout %s; signal again to abort in-flight simulations)", sig, *drainTimeout)
+	case err := <-httpDone:
+		fatalIf(err) // listener died before any signal
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sigs
+		logger.Printf("second signal: aborting in-flight simulations")
+		cancel()
+	}()
+	if err := server.Drain(drainCtx); err != nil {
+		logger.Printf("drain cut short: %v", err)
+	}
+	cancel()
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	st := store.Stats()
+	logger.Printf("drained; store: %d entries, %d bytes, %d hits, %d misses, %d evictions",
+		st.Entries, st.Bytes, st.Hits, st.Misses, st.Evictions)
+}
+
+// parseBytes parses a byte budget: a plain integer, or an integer with
+// a KB/MB/GB (decimal) or KiB/MiB/GiB (binary) suffix. Empty means 0,
+// i.e. unbounded.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9},
+		{"B", 1},
+	}
+	mult := int64(1)
+	num := s
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			num = strings.TrimSpace(strings.TrimSuffix(s, u.suffix))
+			break
+		}
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 512MiB, 2GiB, or a byte count)", s)
+	}
+	return n * mult, nil
+}
+
+func budgetString(n int64) string {
+	if n <= 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d bytes", n)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dragonsrv:", err)
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	dragonfly "repro"
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/exp/srv"
 	"repro/internal/sweep"
 )
 
@@ -65,7 +66,8 @@ func main() {
 		burstVCT = flag.Int("burstvct", 200, "VCT burst packets/node (paper: 1000)")
 		burstWH  = flag.Int("burstwh", 20, "WH burst packets/node (paper: 89)")
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache", "", "result cache directory (empty = no cache)")
+		remote   = flag.String("remote", "", "execute campaigns on a dragonsrv server at this base URL (figure scaling still runs locally — it times this machine's engine)")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = no cache; ignored with -remote)")
 		jsonlOut = flag.String("jsonl", "", "stream per-point JSONL results to this file")
 		quiet    = flag.Bool("q", false, "suppress progress")
 	)
@@ -82,7 +84,12 @@ func main() {
 		opt:     sweep.Options{Parallelism: *par, Context: ctx},
 		summary: &strings.Builder{},
 	}
-	if *cacheDir != "" {
+	var client *srv.Client
+	if *remote != "" {
+		client = srv.NewClient(*remote)
+		e.opt.Remote = client
+	}
+	if *cacheDir != "" && *remote == "" {
 		cache, err := exp.OpenCache(*cacheDir)
 		fatalIf(err)
 		e.opt.Cache = cache
@@ -154,6 +161,12 @@ func main() {
 	if e.opt.Cache != nil {
 		hits, misses := e.opt.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", hits, misses)
+	}
+	if client != nil {
+		if st, err := client.StoreStats(ctx); err == nil {
+			fmt.Fprintf(os.Stderr, "remote store: %d hits, %d misses, %d entries\n",
+				st.Hits, st.Misses, st.Entries)
+		}
 	}
 	if len(e.pointErrs) > 0 {
 		fmt.Fprintf(os.Stderr, "paperfigs: %d point(s) failed:\n%v\n",
@@ -371,7 +384,12 @@ func (e *env) figTransient(ctx context.Context, mechs []dragonfly.Mechanism, loa
 	base.WindowCycles = window
 
 	camp := exp.NewMatrix(base).Mechanisms(mechs...).Campaign("transient")
-	eopt := exp.Options{Workers: e.opt.Parallelism, Cache: e.opt.Cache, JSONL: e.opt.JSONL}
+	eopt := exp.Options{
+		Workers:        e.opt.Parallelism,
+		Cache:          e.opt.Cache,
+		JSONL:          e.opt.JSONL,
+		CanonicalJSONL: true,
+	}
 	if e.opt.Progress != nil {
 		progress := e.opt.Progress
 		eopt.Progress = func(pr exp.Progress) {
@@ -379,7 +397,12 @@ func (e *env) figTransient(ctx context.Context, mechs []dragonfly.Mechanism, loa
 			progress(o.Point.Series, sweep.Point{X: o.Point.X, Result: o.Result, Err: o.Err})
 		}
 	}
-	outs, runErr := exp.Run(ctx, camp, eopt)
+	run := exp.Run
+	if e.opt.Remote != nil {
+		run = e.opt.Remote.Run
+		eopt.Cache = nil
+	}
+	outs, runErr := run(ctx, camp, eopt)
 	if err := e.record(errors.Join(runErr, exp.PointErrors(outs))); err != nil {
 		return err
 	}

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	dragonfly "repro"
 	"repro/internal/engine"
@@ -119,4 +121,53 @@ func (c *Cache) Put(key string, cfg dragonfly.Config, res dragonfly.Result) erro
 // missed since the Cache was opened.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Size reports the on-disk size in bytes of an entry, or 0 if it does
+// not exist.
+func (c *Cache) Size(key string) int64 {
+	fi, err := os.Stat(c.path(key))
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Remove deletes an entry. Removing a key that does not exist is not an
+// error — a concurrent writer may have already replaced or dropped it.
+func (c *Cache) Remove(key string) error {
+	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("exp: remove cache entry: %w", err)
+	}
+	return nil
+}
+
+// CacheEntry describes one on-disk entry, for directory scans.
+type CacheEntry struct {
+	Key     string
+	Size    int64
+	ModTime time.Time
+}
+
+// Entries lists the entries currently in the cache directory, skipping
+// in-progress temp files and anything that is not a cache entry.
+func (c *Cache) Entries() ([]CacheEntry, error) {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("exp: scan cache: %w", err)
+	}
+	var out []CacheEntry
+	for _, de := range des {
+		name := de.Name()
+		key, ok := strings.CutSuffix(name, ".json")
+		if !ok || de.IsDir() || strings.Contains(key, ".") {
+			continue // temp file ("<key>.tmp*") or foreign file
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent Remove
+		}
+		out = append(out, CacheEntry{Key: key, Size: fi.Size(), ModTime: fi.ModTime()})
+	}
+	return out, nil
 }

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"context"
+	"sync"
+
+	dragonfly "repro"
+)
+
+// Flights deduplicates concurrent executions of the same point: callers
+// asking for the same content address while a simulation for it is in
+// flight share that one simulation's result instead of starting their
+// own. It is the cross-campaign analogue of the Cache — the Cache
+// deduplicates across time, Flights across concurrency.
+//
+// The zero value is ready to use.
+type Flights struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress execution and its eventual result.
+type flight struct {
+	done chan struct{}
+	res  dragonfly.Result
+	err  error
+}
+
+// Do executes fn for key, unless a flight for key is already in
+// progress, in which case it waits for that flight and returns its
+// result. leader reports whether this call ran fn itself. A waiter
+// whose ctx is canceled stops waiting and returns ctx's error; the
+// flight itself keeps running for the callers that remain (fn is
+// responsible for honoring its own context).
+//
+// The flight is forgotten as soon as fn returns, so a failed execution
+// is retried by the next caller rather than poisoning the key.
+func (g *Flights) Do(ctx context.Context, key string, fn func() (dragonfly.Result, error)) (res dragonfly.Result, leader bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, false, f.err
+		case <-ctx.Done():
+			return dragonfly.Result{}, false, ctx.Err()
+		}
+	}
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.res, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, true, f.err
+}

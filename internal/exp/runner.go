@@ -35,6 +35,17 @@ type Options struct {
 	// completion order (see Record). Writes are serialized.
 	JSONL io.Writer
 
+	// CanonicalJSONL switches the JSONL stream to canonical form: lines
+	// are emitted in campaign order (buffered until every earlier point
+	// has finished) and the volatile fields — Seconds and Cached — are
+	// zeroed. Because the engine is deterministic, the resulting stream
+	// is byte-identical for any worker count, any cache state, and for
+	// local versus remote execution of the same campaign. On
+	// cancellation the stream is a well-formed prefix: the dispatcher
+	// hands points out in campaign order, so undispatched points form a
+	// suffix and no emitted line ever precedes a missing one.
+	CanonicalJSONL bool
+
 	// Cache, when non-nil, is consulted before and populated after every
 	// point. A hit skips the simulation entirely.
 	Cache *Cache
@@ -93,17 +104,33 @@ func Run(ctx context.Context, camp Campaign, opt Options) ([]Outcome, error) {
 	}
 
 	var (
-		mu       sync.Mutex // serializes progress + JSONL emission
-		done     int
-		jsonlErr error
-		cacheErr error
+		mu        sync.Mutex // serializes progress + JSONL emission
+		done      int
+		finished  []bool // per-index, only allocated for canonical JSONL
+		nextJSONL int    // first index not yet emitted (canonical JSONL)
+		jsonlErr  error
+		cacheErr  error
 	)
+	if opt.CanonicalJSONL {
+		finished = make([]bool, len(outs))
+	}
 	finish := func(o *Outcome) {
 		mu.Lock()
 		defer mu.Unlock()
 		done++
 		if opt.JSONL != nil && jsonlErr == nil {
-			jsonlErr = writeRecord(opt.JSONL, o)
+			if opt.CanonicalJSONL {
+				// Flush the contiguous finished prefix in campaign order.
+				finished[o.Index] = true
+				for nextJSONL < len(outs) && finished[nextJSONL] {
+					if jsonlErr = writeRecord(opt.JSONL, &outs[nextJSONL], true); jsonlErr != nil {
+						break
+					}
+					nextJSONL++
+				}
+			} else {
+				jsonlErr = writeRecord(opt.JSONL, o, false)
+			}
 		}
 		if opt.Progress != nil {
 			opt.Progress(Progress{Done: done, Total: len(outs), Outcome: *o})

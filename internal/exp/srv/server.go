@@ -1,0 +1,616 @@
+// Package srv turns internal/exp into a long-running campaign service:
+// an HTTP/JSON API that accepts campaigns, executes their points on a
+// shared bounded simulation pool, serves repeated points from a
+// persistent size-bounded result store (exp.Store), deduplicates
+// identical points that are in flight concurrently (exp.Flights),
+// streams per-point progress over SSE, and renders a plain-HTML results
+// browser. Client (client.go) is the matching thin client used by the
+// CLIs' -remote flag; because the engine is deterministic and points are
+// seeded before submission, remote results are interchangeable with —
+// and canonical JSONL streams byte-identical to — local execution.
+//
+// API (all JSON unless noted):
+//
+//	POST /api/v1/campaigns                    submit {name, points:[{series,x,config}]}
+//	GET  /api/v1/campaigns                    list campaign statuses
+//	GET  /api/v1/campaigns/{id}               one campaign's status
+//	GET  /api/v1/campaigns/{id}/events        SSE: replay + live per-point events, then "done"
+//	GET  /api/v1/campaigns/{id}/results       finished outcomes (blocks until done)
+//	GET  /api/v1/campaigns/{id}/results.jsonl canonical JSONL (blocks until done)
+//	GET  /api/v1/store                        store occupancy and hit/miss counters
+//	GET  /healthz                             "ok" (503 "draining" while shutting down)
+//	GET  /                                    HTML browser; /campaigns/{id} per-campaign page
+package srv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dragonfly "repro"
+	"repro/internal/exp"
+)
+
+// ErrDraining is the per-point error of points the server refused to
+// start because a graceful shutdown was in progress. In-flight
+// simulations still finish and persist; only unstarted points carry it.
+var ErrDraining = errors.New("srv: server draining, point not started")
+
+// maxBodyBytes bounds a campaign submission body.
+const maxBodyBytes = 64 << 20
+
+// Config configures a Server.
+type Config struct {
+	// Store is the shared persistent result store (required).
+	Store *exp.Store
+	// SimWorkers bounds concurrently executing simulations across all
+	// campaigns (default GOMAXPROCS).
+	SimWorkers int
+	// JSONLDir, when non-empty, makes the server mirror each campaign's
+	// canonical JSONL stream to <dir>/<campaign-id>.jsonl as points
+	// finish, so results survive client disconnects and drains.
+	JSONLDir string
+	// Log, when non-nil, receives operational log lines.
+	Log *log.Logger
+}
+
+// Server is the campaign service. Create with New, expose with Handler,
+// shut down with Drain.
+type Server struct {
+	store      *exp.Store
+	simWorkers int
+	jsonlDir   string
+	logger     *log.Logger
+
+	sema    chan struct{} // global simulation slots
+	flights exp.Flights
+
+	draining  atomic.Bool
+	runCtx    context.Context // canceled only when a drain deadline forces abort
+	runCancel context.CancelFunc
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string // submission order, for listings
+	nextID    int
+	wg        sync.WaitGroup // running campaign executors
+
+	// runSim executes one simulation; tests stub it to control timing.
+	runSim func(ctx context.Context, cfg dragonfly.Config) (dragonfly.Result, error)
+}
+
+// New creates a Server. The JSONL directory, when configured, is
+// created if needed.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("srv: Config.Store is required")
+	}
+	workers := cfg.SimWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.JSONLDir != "" {
+		if err := os.MkdirAll(cfg.JSONLDir, 0o755); err != nil {
+			return nil, fmt.Errorf("srv: jsonl dir: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		store:      cfg.Store,
+		simWorkers: workers,
+		jsonlDir:   cfg.JSONLDir,
+		logger:     cfg.Log,
+		sema:       make(chan struct{}, workers),
+		runCtx:     ctx,
+		runCancel:  cancel,
+		campaigns:  make(map[string]*campaign),
+		runSim: func(ctx context.Context, cfg dragonfly.Config) (dragonfly.Result, error) {
+			return dragonfly.RunContext(ctx, cfg)
+		},
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// Drain gracefully shuts the execution side down: new submissions are
+// rejected with 503, queued points that have not started simulating
+// fail with ErrDraining, and in-flight simulations run to completion
+// and persist to the store. Drain returns when every accepted campaign
+// has finished, or — if ctx expires first — aborts the remaining
+// simulations and returns ctx's error. Safe to call once; the HTTP
+// listener itself is the caller's to close afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	// Barrier: a submission that passed the draining check while holding
+	// s.mu has already registered with wg by the time we acquire it.
+	s.mu.Lock()
+	n := len(s.order)
+	s.mu.Unlock()
+	s.logf("draining: waiting on campaigns (%d accepted total)", n)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.runCancel() // in-flight simulations abort at their next cycle check
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close aborts everything immediately. Tests use it; production drains.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.runCancel()
+	s.wg.Wait()
+}
+
+// campaign is one accepted campaign and its execution state.
+type campaign struct {
+	id      string
+	name    string
+	created time.Time
+	points  []exp.Point
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on every new record and on finish
+
+	recs     []exp.Record  // completion-order events (Cached/Seconds live)
+	served   []bool        // per-index: result arrived without its own sim
+	outs     []exp.Outcome // campaign order, set on finish
+	executed int           // simulations this campaign ran
+	fromStore,
+	deduped int
+	finished bool
+	errMsg   string // campaign-level error, if any
+}
+
+// Status is a campaign status snapshot, as served by the API.
+type Status struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Created   time.Time `json:"created"`
+	Total     int       `json:"total"`
+	Done      int       `json:"done"`
+	Executed  int       `json:"executed"`   // simulations run for this campaign
+	FromStore int       `json:"from_store"` // points served from the persistent store
+	Deduped   int       `json:"deduped"`    // points that joined another caller's in-flight sim
+	Finished  bool      `json:"finished"`
+	Error     string    `json:"error,omitempty"`
+}
+
+func (c *campaign) statusLocked() Status {
+	return Status{
+		ID:        c.id,
+		Name:      c.name,
+		Created:   c.created,
+		Total:     len(c.points),
+		Done:      len(c.recs),
+		Executed:  c.executed,
+		FromStore: c.fromStore,
+		Deduped:   c.deduped,
+		Finished:  c.finished,
+		Error:     c.errMsg,
+	}
+}
+
+func (c *campaign) status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked()
+}
+
+// record appends one finished point's event and wakes SSE streams.
+// Called serially by exp.Run's progress path.
+func (c *campaign) record(o exp.Outcome) {
+	c.mu.Lock()
+	o.Cached = o.Cached || c.served[o.Index]
+	rec := exp.Record{
+		Index:   o.Index,
+		Series:  o.Point.Series,
+		X:       o.Point.X,
+		Cached:  o.Cached,
+		Seconds: o.Seconds,
+		Config:  o.Point.Config,
+	}
+	if o.Err != nil {
+		rec.Error = o.Err.Error()
+	} else {
+		res := o.Result
+		rec.Result = &res
+	}
+	c.recs = append(c.recs, rec)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// finish publishes the final outcomes and wakes everyone waiting.
+func (c *campaign) finish(outs []exp.Outcome, err error) {
+	c.mu.Lock()
+	for i := range outs {
+		outs[i].Cached = outs[i].Cached || c.served[i]
+	}
+	c.outs = outs
+	c.finished = true
+	if err != nil {
+		c.errMsg = err.Error()
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// waitFinished blocks until the campaign finished or ctx expired.
+func (c *campaign) waitFinished(ctx context.Context) ([]exp.Outcome, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.finished {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		c.cond.Wait()
+	}
+	return c.outs, true
+}
+
+// start launches the campaign executor.
+func (s *Server) start(c *campaign) {
+	go func() {
+		defer s.wg.Done()
+		eopt := exp.Options{
+			Workers:        s.simWorkers,
+			CanonicalJSONL: true,
+			Run: func(_ context.Context, i int, p exp.Point) (dragonfly.Result, error) {
+				return s.runPoint(c, i, p)
+			},
+			Progress: func(pr exp.Progress) { c.record(pr.Outcome) },
+		}
+		var jsonl *os.File
+		if s.jsonlDir != "" {
+			f, err := os.Create(filepath.Join(s.jsonlDir, c.id+".jsonl"))
+			if err != nil {
+				s.logf("campaign %s: jsonl: %v", c.id, err)
+			} else {
+				jsonl = f
+				eopt.JSONL = f
+			}
+		}
+		outs, err := exp.Run(s.runCtx, exp.Campaign{Name: c.name, Points: c.points}, eopt)
+		if jsonl != nil {
+			if cerr := jsonl.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		c.finish(outs, err)
+		st := c.status()
+		s.logf("campaign %s (%s) finished: %d points, %d simulated, %d from store, %d deduped",
+			c.id, c.name, st.Total, st.Executed, st.FromStore, st.Deduped)
+	}()
+}
+
+// runPoint resolves one point: store lookup, in-flight dedup, then — if
+// nobody else has or is computing it — one simulation on the global
+// pool, persisted to the store. The store lookup happens inside the
+// flight so concurrent identical points cost one lookup and the
+// hit/miss counters stay exact.
+func (s *Server) runPoint(c *campaign, idx int, p exp.Point) (dragonfly.Result, error) {
+	key := s.store.Key(p.Config)
+	var ranSim bool
+	res, leader, err := s.flights.Do(s.runCtx, key, func() (dragonfly.Result, error) {
+		if res, ok := s.store.Get(key); ok {
+			return res, nil
+		}
+		if s.draining.Load() {
+			return dragonfly.Result{}, ErrDraining
+		}
+		select {
+		case s.sema <- struct{}{}:
+		case <-s.runCtx.Done():
+			return dragonfly.Result{}, s.runCtx.Err()
+		}
+		defer func() { <-s.sema }()
+		if s.draining.Load() { // drain began while queued for a slot
+			return dragonfly.Result{}, ErrDraining
+		}
+		ranSim = true
+		res, err := s.runSim(s.runCtx, p.Config)
+		if err != nil {
+			return dragonfly.Result{}, err
+		}
+		if perr := s.store.Put(key, p.Config, res); perr != nil {
+			// The result stands; a broken store surfaces in the log.
+			s.logf("store put %s: %v", key[:12], perr)
+		}
+		return res, nil
+	})
+	c.mu.Lock()
+	switch {
+	case leader && ranSim:
+		c.executed++
+	case err == nil:
+		if leader {
+			c.fromStore++
+		} else {
+			c.deduped++
+		}
+		c.served[idx] = true
+	}
+	c.mu.Unlock()
+	return res, err
+}
+
+// submit registers and starts a campaign. Returns nil while draining.
+func (s *Server) submit(name string, points []exp.Point) *campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return nil
+	}
+	s.nextID++
+	c := &campaign{
+		id:      fmt.Sprintf("c%04d", s.nextID),
+		name:    name,
+		created: time.Now().UTC(),
+		points:  points,
+		served:  make([]bool, len(points)),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	s.campaigns[c.id] = c
+	s.order = append(s.order, c.id)
+	s.wg.Add(1) // inside s.mu: pairs with the barrier in Drain
+	s.start(c)
+	return c
+}
+
+func (s *Server) campaign(id string) *campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/results.jsonl", s.handleResultsJSONL)
+	mux.HandleFunc("GET /api/v1/store", s.handleStore)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleCampaignPage)
+	return mux
+}
+
+// Wire types. exp.Point carries no JSON tags, so the API defines its
+// own lower-case layout, matching Record's field names.
+
+type wirePoint struct {
+	Series string           `json:"series"`
+	X      float64          `json:"x"`
+	Config dragonfly.Config `json:"config"`
+}
+
+type submitRequest struct {
+	Name   string      `json:"name"`
+	Points []wirePoint `json:"points"`
+}
+
+type submitResponse struct {
+	ID    string `json:"id"`
+	Total int    `json:"total"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode campaign: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, "campaign has no points")
+		return
+	}
+	points := make([]exp.Point, len(req.Points))
+	for i, wp := range req.Points {
+		if err := wp.Config.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "point %d: %v", i, err)
+			return
+		}
+		points[i] = exp.Point{Series: wp.Series, X: wp.X, Config: wp.Config}
+	}
+	c := s.submit(req.Name, points)
+	if c == nil {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.logf("campaign %s (%s): accepted, %d points", c.id, c.name, len(points))
+	writeJSON(w, http.StatusCreated, submitResponse{ID: c.id, Total: len(points)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.campaigns[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	writeJSON(w, http.StatusOK, c.status())
+}
+
+// handleEvents streams SSE: every already-recorded point is replayed
+// first (so reconnecting clients can resume idempotently by index),
+// then live events, then one "done" event carrying the final status.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+
+	next := 0
+	c.mu.Lock()
+	for {
+		for next < len(c.recs) {
+			rec := c.recs[next]
+			next++
+			c.mu.Unlock()
+			if err := writeEvent(w, "point", rec); err != nil {
+				return
+			}
+			fl.Flush()
+			c.mu.Lock()
+		}
+		if c.finished {
+			break
+		}
+		if ctx.Err() != nil {
+			c.mu.Unlock()
+			return
+		}
+		c.cond.Wait()
+	}
+	st := c.statusLocked()
+	c.mu.Unlock()
+	writeEvent(w, "done", st) //nolint:errcheck // stream is ending either way
+	fl.Flush()
+}
+
+func writeEvent(w io.Writer, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	outs, ok := c.waitFinished(r.Context())
+	if !ok {
+		return // client went away
+	}
+	recs := make([]exp.Record, 0, len(outs))
+	for i := range outs {
+		o := &outs[i]
+		rec := exp.Record{
+			Index:   o.Index,
+			Series:  o.Point.Series,
+			X:       o.Point.X,
+			Cached:  o.Cached,
+			Seconds: o.Seconds,
+			Config:  o.Point.Config,
+		}
+		if o.Err != nil {
+			rec.Error = o.Err.Error()
+		} else {
+			rec.Result = &o.Result
+		}
+		recs = append(recs, rec)
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+func (s *Server) handleResultsJSONL(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	outs, ok := c.waitFinished(r.Context())
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for i := range outs {
+		if err := exp.WriteCanonicalRecord(w, &outs[i]); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n") //nolint:errcheck
+		return
+	}
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}

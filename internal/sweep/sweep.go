@@ -43,9 +43,24 @@ type Options struct {
 	// context's error.
 	Context context.Context
 	// Cache, when non-nil, serves repeated points without simulating.
+	// Ignored when Remote is set — the server has its own store.
 	Cache *exp.Cache
 	// JSONL, when non-nil, receives one JSON line per finished point.
+	// Sweeps always emit canonical JSONL (campaign order, volatile
+	// fields zeroed; see exp.Options.CanonicalJSONL), so the stream for
+	// a given campaign is byte-identical across worker counts, cache
+	// states, and local versus remote execution.
 	JSONL io.Writer
+	// Remote, when non-nil, executes the campaign on a dragonsrv server
+	// instead of in-process (srv.Client implements this). Progress and
+	// JSONL behave exactly as they do locally.
+	Remote Runner
+}
+
+// Runner executes a campaign with exp.Run's contract. srv.Client is the
+// remote implementation; the zero Options use exp.Run itself.
+type Runner interface {
+	Run(ctx context.Context, camp exp.Campaign, opt exp.Options) ([]exp.Outcome, error)
 }
 
 // exec runs the campaign and folds the outcomes into series. The campaign
@@ -56,9 +71,13 @@ type Options struct {
 // complete (failed points carry their error) even when it is non-nil.
 func exec(camp exp.Campaign, series []Series, pointsPer int, opt Options) ([]Series, error) {
 	eopt := exp.Options{
-		Workers: opt.Parallelism,
-		Cache:   opt.Cache,
-		JSONL:   opt.JSONL,
+		Workers:        opt.Parallelism,
+		Cache:          opt.Cache,
+		JSONL:          opt.JSONL,
+		CanonicalJSONL: true,
+	}
+	if opt.Remote != nil {
+		eopt.Cache = nil
 	}
 	if opt.Progress != nil {
 		eopt.Progress = func(pr exp.Progress) {
@@ -70,7 +89,11 @@ func exec(camp exp.Campaign, series []Series, pointsPer int, opt Options) ([]Ser
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	outs, runErr := exp.Run(ctx, camp, eopt)
+	run := exp.Run
+	if opt.Remote != nil {
+		run = opt.Remote.Run
+	}
+	outs, runErr := run(ctx, camp, eopt)
 	for _, o := range outs {
 		si, pi := o.Index/pointsPer, o.Index%pointsPer
 		series[si].Points[pi] = Point{X: o.Point.X, Result: o.Result, Err: o.Err}
