@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/exp"
+	"repro/internal/exp/queue"
 )
 
 // The embedded results browser is deliberately plain HTML — no scripts,
@@ -29,6 +30,26 @@ th { background: #eee; } td.l, th.l { text-align: left; }
 <td>{{if .Store.MaxBytes}}{{.Store.MaxBytes}}{{else}}&infin;{{end}}</td>
 <td>{{.Store.Hits}}</td><td>{{.Store.Misses}}</td><td>{{.Store.Evictions}}</td></tr>
 </table>
+<h2>Fleet</h2>
+<table>
+<tr><th>queued</th><th>leased</th><th>leases</th><th>completed</th><th>failed</th>
+<th>requeues</th><th>expired leases</th><th>quarantined</th><th>late discards</th></tr>
+<tr><td>{{.Fleet.QueuedPoints}}</td><td>{{.Fleet.LeasedPoints}}</td><td>{{.Fleet.ActiveLeases}}</td>
+<td>{{.Fleet.Completed}}</td><td>{{.Fleet.Failed}}</td>
+<td>{{.Fleet.Requeues}}</td><td>{{.Fleet.ExpiredLeases}}</td>
+<td>{{.Fleet.Quarantined}}</td><td>{{.Fleet.LateDiscarded}}</td></tr>
+</table>
+{{if .Fleet.Workers}}
+<h3>Workers</h3>
+<table>
+<tr><th class="l">worker</th><th>heartbeat age (s)</th><th>leases</th><th>points</th>
+<th>completed</th><th>crashes</th></tr>
+{{range .Fleet.Workers}}
+<tr><td class="l">{{.Name}}</td><td>{{printf "%.1f" .HeartbeatAgeSeconds}}</td>
+<td>{{.ActiveLeases}}</td><td>{{.ActivePoints}}</td>
+<td>{{.Completed}}</td><td>{{.Crashes}}</td></tr>
+{{end}}
+</table>{{end}}
 <h2>Campaigns</h2>
 {{if not .Campaigns}}<p>No campaigns submitted yet.</p>{{else}}
 <table>
@@ -90,8 +111,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	data := struct {
 		Store     exp.StoreStats
+		Fleet     queue.FleetStats
 		Campaigns []Status
-	}{Store: s.store.Stats(), Campaigns: statuses}
+	}{Store: s.store.Stats(), Fleet: s.queue.Stats(), Campaigns: statuses}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	indexTmpl.Execute(w, data) //nolint:errcheck // client went away
 }

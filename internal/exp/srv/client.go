@@ -8,13 +8,53 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/exp/queue"
 )
+
+// Transient-failure policy shared by the client and the worker: a
+// request that fails on the transport, or with a 5xx (a restarting,
+// overloaded, or draining server), is retried with capped exponential
+// backoff plus jitter. 4xx responses are the caller's fault and are
+// never retried. The budget is deliberately modest — a server that is
+// down for good should fail the run in seconds, not minutes.
+const (
+	retryAttempts = 5
+	retryBackoff  = 100 * time.Millisecond
+	retryCap      = 3 * time.Second
+)
+
+// backoffDelay returns the jittered exponential delay before retry n
+// (0-based): base<<n capped at max, then drawn from [d/2, d] so a fleet
+// of clients does not reconnect in lockstep.
+func backoffDelay(n int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx sleeps for d; false means ctx expired first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
 
 // Client is the thin remote-execution client behind the CLIs' -remote
 // flag. Client.Run mirrors exp.Run's contract — same outcome slice,
@@ -78,33 +118,70 @@ func (c *Client) StoreStats(ctx context.Context) (exp.StoreStats, error) {
 	return st, err
 }
 
+// FleetStats fetches the server's lease-queue snapshot: active leases,
+// per-worker heartbeat ages, requeue/quarantine counters.
+func (c *Client) FleetStats(ctx context.Context) (queue.FleetStats, error) {
+	var st struct {
+		Fleet queue.FleetStats `json:"fleet"`
+	}
+	err := c.doJSON(ctx, http.MethodGet, "/api/v1/store", nil, &st)
+	return st.Fleet, err
+}
+
+// doJSON performs one API call, retrying transient failures (transport
+// errors and 5xx) per the policy above. Note that a retried POST may
+// execute twice if the first response was lost in flight; every POST in
+// this API is safe to repeat — a duplicate campaign submission dedups
+// against the store and in-flight sims, so it costs bookkeeping, not
+// simulations.
 func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			if !sleepCtx(ctx, backoffDelay(attempt-1, retryBackoff, retryCap)) {
+				return lastErr
+			}
+		}
+		err, retryable := c.doJSONOnce(ctx, method, path, body, out)
+		if err == nil || !retryable {
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("srv: giving up after %d attempts: %w", retryAttempts, lastErr)
+}
+
+func (c *Client) doJSONOnce(ctx context.Context, method, path string, body []byte, out any) (_ error, retryable bool) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return fmt.Errorf("srv: %w", err)
+		return fmt.Errorf("srv: %w", err), false
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("srv: %s %s: %w", method, path, err)
+		return fmt.Errorf("srv: %s %s: %w", method, path, err), true
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("srv: %s %s: %s: %s", method, path, resp.Status, errBody(resp.Body))
+		return fmt.Errorf("srv: %s %s: %s: %s", method, path, resp.Status, errBody(resp.Body)),
+			resp.StatusCode/100 == 5
 	}
 	if out == nil {
-		return nil
+		return nil, false
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("srv: decode %s response: %w", path, err)
+		return fmt.Errorf("srv: decode %s response: %w", path, err), false
 	}
-	return nil
+	return nil, false
 }
 
 // errBody extracts the server's {"error": ...} message, if any.
@@ -171,7 +248,21 @@ func (c *Client) Run(ctx context.Context, camp exp.Campaign, opt exp.Options) ([
 		}
 	}
 
+	// A coordinator restart loses its in-memory campaign registry (the
+	// result store persists on disk). When the event stream 404s,
+	// resubmit the same seeded points: finished points replay straight
+	// from the store, got[] dedups them by index, and only unfinished
+	// work simulates again.
+	const resubmits = 3
 	st, err := c.stream(ctx, id, onRecord)
+	for lost := 0; errors.Is(err, errCampaignLost) && lost < resubmits && ctx.Err() == nil; lost++ {
+		var subErr error
+		if id, subErr = c.Submit(ctx, exp.Campaign{Name: camp.Name, Points: points}); subErr != nil {
+			err = subErr
+			break
+		}
+		st, err = c.stream(ctx, id, onRecord)
+	}
 	if err != nil {
 		// The transport failed for good; surface it campaign-level and
 		// mark every point we never heard about, like a cancellation.
@@ -205,16 +296,19 @@ func (c *Client) Run(ctx context.Context, camp exp.Campaign, opt exp.Options) ([
 // streamAttempts bounds SSE reconnects on transport errors.
 const streamAttempts = 5
 
+// errCampaignLost means the server no longer knows the campaign —
+// it restarted and lost its in-memory registry. Run reacts by
+// resubmitting; retrying the stream cannot help.
+var errCampaignLost = errors.New("srv: campaign not found (coordinator restarted?)")
+
 // stream consumes the campaign's SSE feed until its "done" event,
-// reconnecting on transport errors (the server replays from the start;
-// onRecord deduplicates by index).
+// reconnecting with jittered backoff on transport errors (the server
+// replays from the start; onRecord deduplicates by index).
 func (c *Client) stream(ctx context.Context, id string, onRecord func(exp.Record)) (Status, error) {
 	var lastErr error
 	for attempt := 0; attempt < streamAttempts; attempt++ {
 		if attempt > 0 {
-			select {
-			case <-time.After(time.Duration(attempt) * 500 * time.Millisecond):
-			case <-ctx.Done():
+			if !sleepCtx(ctx, backoffDelay(attempt-1, retryBackoff, retryCap)) {
 				return Status{}, ctx.Err()
 			}
 		}
@@ -224,6 +318,9 @@ func (c *Client) stream(ctx context.Context, id string, onRecord func(exp.Record
 		}
 		if ctx.Err() != nil {
 			return Status{}, ctx.Err()
+		}
+		if errors.Is(err, errCampaignLost) {
+			return Status{}, err
 		}
 		lastErr = err
 	}
@@ -243,6 +340,9 @@ func (c *Client) streamOnce(ctx context.Context, id string, onRecord func(exp.Re
 		return Status{}, false, fmt.Errorf("srv: events: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return Status{}, false, fmt.Errorf("%w (campaign %s)", errCampaignLost, id)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return Status{}, false, fmt.Errorf("srv: events: %s: %s", resp.Status, errBody(resp.Body))
 	}

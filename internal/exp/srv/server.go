@@ -1,6 +1,6 @@
 // Package srv turns internal/exp into a long-running campaign service:
 // an HTTP/JSON API that accepts campaigns, executes their points on a
-// shared bounded simulation pool, serves repeated points from a
+// shared fleet of simulation workers, serves repeated points from a
 // persistent size-bounded result store (exp.Store), deduplicates
 // identical points that are in flight concurrently (exp.Flights),
 // streams per-point progress over SSE, and renders a plain-HTML results
@@ -8,6 +8,17 @@
 // CLIs' -remote flag; because the engine is deterministic and points are
 // seeded before submission, remote results are interchangeable with —
 // and canonical JSONL streams byte-identical to — local execution.
+//
+// Execution is coordinated through a lease-based point queue
+// (internal/exp/queue): every cache-missing point is enqueued once, and
+// whichever puller claims it first — one of the coordinator's own local
+// sim workers, or a remote dragonsrv -worker process pulling over the
+// lease API (fleet.go) — runs it. Leases expire without heartbeats, so
+// a worker can die at any moment: its points requeue with backoff and
+// the campaign still completes with byte-identical results; points that
+// crash enough distinct workers are quarantined instead of retrying
+// forever (see the queue package for the full lifecycle). Worker
+// (worker.go) is the puller side of the same contract.
 //
 // API (all JSON unless noted):
 //
@@ -17,7 +28,10 @@
 //	GET  /api/v1/campaigns/{id}/events        SSE: replay + live per-point events, then "done"
 //	GET  /api/v1/campaigns/{id}/results       finished outcomes (blocks until done)
 //	GET  /api/v1/campaigns/{id}/results.jsonl canonical JSONL (blocks until done)
-//	GET  /api/v1/store                        store occupancy and hit/miss counters
+//	POST /api/v1/leases                       claim a batch of points {worker,max,wait_ms}
+//	POST /api/v1/leases/{id}/heartbeat        extend a lease (410 once expired)
+//	POST /api/v1/leases/{id}/results          submit outcomes (410 discards a zombie's)
+//	GET  /api/v1/store                        store occupancy, hit/miss counters, fleet stats
 //	GET  /healthz                             "ok" (503 "draining" while shutting down)
 //	GET  /                                    HTML browser; /campaigns/{id} per-campaign page
 package srv
@@ -39,6 +53,7 @@ import (
 
 	dragonfly "repro"
 	"repro/internal/exp"
+	"repro/internal/exp/queue"
 )
 
 // ErrDraining is the per-point error of points the server refused to
@@ -49,13 +64,23 @@ var ErrDraining = errors.New("srv: server draining, point not started")
 // maxBodyBytes bounds a campaign submission body.
 const maxBodyBytes = 64 << 20
 
+// sseWriteTimeout bounds one SSE event write; a subscriber that stalls
+// longer than this is detached.
+const sseWriteTimeout = 30 * time.Second
+
 // Config configures a Server.
 type Config struct {
 	// Store is the shared persistent result store (required).
 	Store *exp.Store
-	// SimWorkers bounds concurrently executing simulations across all
-	// campaigns (default GOMAXPROCS).
+	// SimWorkers bounds the coordinator's own concurrently executing
+	// simulations (default GOMAXPROCS). Negative disables local
+	// execution entirely: the coordinator only dispatches to remote
+	// workers — the fleet-only topology.
 	SimWorkers int
+	// Fleet tunes the lease queue (lease duration, quarantine
+	// thresholds, requeue backoff). The zero value gets the queue
+	// package's production defaults.
+	Fleet queue.Config
 	// JSONLDir, when non-empty, makes the server mirror each campaign's
 	// canonical JSONL stream to <dir>/<campaign-id>.jsonl as points
 	// finish, so results survive client disconnects and drains.
@@ -72,8 +97,9 @@ type Server struct {
 	jsonlDir   string
 	logger     *log.Logger
 
-	sema    chan struct{} // global simulation slots
+	queue   *queue.Queue
 	flights exp.Flights
+	localWG sync.WaitGroup // local puller goroutines
 
 	draining  atomic.Bool
 	runCtx    context.Context // canceled only when a drain deadline forces abort
@@ -96,8 +122,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("srv: Config.Store is required")
 	}
 	workers := cfg.SimWorkers
-	if workers <= 0 {
+	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 0 {
+		workers = 0 // fleet-only: no local pullers
 	}
 	if cfg.JSONLDir != "" {
 		if err := os.MkdirAll(cfg.JSONLDir, 0o755); err != nil {
@@ -105,19 +134,46 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		store:      cfg.Store,
 		simWorkers: workers,
 		jsonlDir:   cfg.JSONLDir,
 		logger:     cfg.Log,
-		sema:       make(chan struct{}, workers),
+		queue:      queue.New(cfg.Fleet),
 		runCtx:     ctx,
 		runCancel:  cancel,
 		campaigns:  make(map[string]*campaign),
 		runSim: func(ctx context.Context, cfg dragonfly.Config) (dragonfly.Result, error) {
 			return dragonfly.RunContext(ctx, cfg)
 		},
-	}, nil
+	}
+	for i := 0; i < workers; i++ {
+		s.localWG.Add(1)
+		go s.localPuller()
+	}
+	return s, nil
+}
+
+// localPuller is one of the coordinator's own simulation workers: it
+// claims points off the same queue remote workers pull from, so local
+// capacity and the fleet share one dispatch order and never duplicate
+// work. Local leases do not expire — the holder cannot outlive the
+// queue — so no heartbeats are needed.
+func (s *Server) localPuller() {
+	defer s.localWG.Done()
+	for {
+		l, err := s.queue.WaitClaim(s.runCtx, "local", 1, time.Hour, true)
+		if err != nil {
+			return // draining or shut down
+		}
+		if l == nil {
+			continue
+		}
+		for _, t := range l.Tasks {
+			res, err := s.runSim(s.runCtx, t.Config)
+			s.queue.Complete(l.ID, t.ID, queue.Outcome{Result: res, Err: err}) //nolint:errcheck // local leases cannot expire
+		}
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -127,14 +183,19 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Drain gracefully shuts the execution side down: new submissions are
-// rejected with 503, queued points that have not started simulating
-// fail with ErrDraining, and in-flight simulations run to completion
-// and persist to the store. Drain returns when every accepted campaign
-// has finished, or — if ctx expires first — aborts the remaining
-// simulations and returns ctx's error. Safe to call once; the HTTP
-// listener itself is the caller's to close afterwards.
+// rejected with 503, no new leases are issued (remote claims get 503,
+// local pullers stop), queued points that have not started simulating
+// fail with ErrDraining, and in-flight work — local simulations and
+// points leased to remote workers — is collected: workers can still
+// heartbeat and submit, and results persist to the store. A leased
+// point whose worker dies during the drain fails with ErrDraining when
+// its lease expires instead of requeueing. Drain returns when every
+// accepted campaign has finished, or — if ctx expires first — aborts
+// the remaining simulations and returns ctx's error. Safe to call once;
+// the HTTP listener itself is the caller's to close afterwards.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.queue.Drain(ErrDraining)
 	// Barrier: a submission that passed the draining check while holding
 	// s.mu has already registered with wg by the time we acquire it.
 	s.mu.Lock()
@@ -146,21 +207,28 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.runCancel() // in-flight simulations abort at their next cycle check
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.runCancel()
+	s.localWG.Wait()
+	s.queue.Close()
+	return err
 }
 
 // Close aborts everything immediately. Tests use it; production drains.
 func (s *Server) Close() {
 	s.draining.Store(true)
+	s.queue.Drain(ErrDraining)
 	s.runCancel()
 	s.wg.Wait()
+	s.localWG.Wait()
+	s.queue.Close()
 }
 
 // campaign is one accepted campaign and its execution state.
@@ -276,12 +344,18 @@ func (c *campaign) waitFinished(ctx context.Context) ([]exp.Outcome, bool) {
 	return c.outs, true
 }
 
+// campaignPool bounds each campaign executor's in-flight points. These
+// goroutines only wait on the queue (the actual simulation concurrency
+// is bounded by the local pullers plus whatever the fleet claims), so
+// the pool is wide enough to keep a fleet of remote workers fed.
+const campaignPool = 128
+
 // start launches the campaign executor.
 func (s *Server) start(c *campaign) {
 	go func() {
 		defer s.wg.Done()
 		eopt := exp.Options{
-			Workers:        s.simWorkers,
+			Workers:        campaignPool,
 			CanonicalJSONL: true,
 			Run: func(_ context.Context, i int, p exp.Point) (dragonfly.Result, error) {
 				return s.runPoint(c, i, p)
@@ -312,8 +386,9 @@ func (s *Server) start(c *campaign) {
 }
 
 // runPoint resolves one point: store lookup, in-flight dedup, then — if
-// nobody else has or is computing it — one simulation on the global
-// pool, persisted to the store. The store lookup happens inside the
+// nobody else has or is computing it — one pass through the lease
+// queue, where a local puller or a remote worker executes it, and the
+// result persists to the store. The store lookup happens inside the
 // flight so concurrent identical points cost one lookup and the
 // hit/miss counters stay exact.
 func (s *Server) runPoint(c *campaign, idx int, p exp.Point) (dragonfly.Result, error) {
@@ -326,25 +401,26 @@ func (s *Server) runPoint(c *campaign, idx int, p exp.Point) (dragonfly.Result, 
 		if s.draining.Load() {
 			return dragonfly.Result{}, ErrDraining
 		}
+		tk, err := s.queue.Enqueue(key, p.Config)
+		if err != nil { // drain raced the check above
+			return dragonfly.Result{}, ErrDraining
+		}
 		select {
-		case s.sema <- struct{}{}:
+		case out := <-tk.Done:
+			// A point drained out of the queue never started simulating;
+			// everything else — success, sim error, quarantine — did.
+			ranSim = !errors.Is(out.Err, ErrDraining)
+			if out.Err != nil {
+				return dragonfly.Result{}, out.Err
+			}
+			if perr := s.store.Put(key, p.Config, out.Result); perr != nil {
+				// The result stands; a broken store surfaces in the log.
+				s.logf("store put %s: %v", key[:12], perr)
+			}
+			return out.Result, nil
 		case <-s.runCtx.Done():
 			return dragonfly.Result{}, s.runCtx.Err()
 		}
-		defer func() { <-s.sema }()
-		if s.draining.Load() { // drain began while queued for a slot
-			return dragonfly.Result{}, ErrDraining
-		}
-		ranSim = true
-		res, err := s.runSim(s.runCtx, p.Config)
-		if err != nil {
-			return dragonfly.Result{}, err
-		}
-		if perr := s.store.Put(key, p.Config, res); perr != nil {
-			// The result stands; a broken store surfaces in the log.
-			s.logf("store put %s: %v", key[:12], perr)
-		}
-		return res, nil
 	})
 	c.mu.Lock()
 	switch {
@@ -400,6 +476,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/results.jsonl", s.handleResultsJSONL)
+	mux.HandleFunc("POST /api/v1/leases", s.handleClaim)
+	mux.HandleFunc("POST /api/v1/leases/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /api/v1/leases/{id}/results", s.handleLeaseResults)
 	mux.HandleFunc("GET /api/v1/store", s.handleStore)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -516,6 +595,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	})
 	defer stop()
 
+	// Bound every event write so a wedged subscriber (accepted the TCP
+	// connection, never reads) detaches promptly instead of pinning this
+	// handler — and the campaign's broadcast fan-out — forever.
+	rc := http.NewResponseController(w)
+	emit := func(event string, v any) error {
+		rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout)) //nolint:errcheck // unsupported transport: fall back to unbounded writes
+		if err := writeEvent(w, event, v); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
+
 	next := 0
 	c.mu.Lock()
 	for {
@@ -523,10 +615,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			rec := c.recs[next]
 			next++
 			c.mu.Unlock()
-			if err := writeEvent(w, "point", rec); err != nil {
+			if err := emit("point", rec); err != nil {
 				return
 			}
-			fl.Flush()
 			c.mu.Lock()
 		}
 		if c.finished {
@@ -540,8 +631,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	st := c.statusLocked()
 	c.mu.Unlock()
-	writeEvent(w, "done", st) //nolint:errcheck // stream is ending either way
-	fl.Flush()
+	emit("done", st) //nolint:errcheck // stream is ending either way
 }
 
 func writeEvent(w io.Writer, event string, v any) error {
@@ -602,8 +692,18 @@ func (s *Server) handleResultsJSONL(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// storeResponse is GET /api/v1/store's payload: the store counters
+// (inline, for pre-fleet clients) plus the fleet snapshot.
+type storeResponse struct {
+	exp.StoreStats
+	Fleet queue.FleetStats `json:"fleet"`
+}
+
 func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Stats())
+	writeJSON(w, http.StatusOK, storeResponse{
+		StoreStats: s.store.Stats(),
+		Fleet:      s.queue.Stats(),
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
